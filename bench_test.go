@@ -1,0 +1,157 @@
+// Benchmarks regenerating every table- and figure-shaped exhibit of the
+// paper (DESIGN.md index E1–E12). Each benchmark executes the same
+// experiment code as `cmd/experiments`; reported ns/op is wall time of one
+// full experiment at the benchmark scale factor. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Rendered tables from a representative run are recorded in EXPERIMENTS.md.
+package gopilot_test
+
+import (
+	"testing"
+
+	"gopilot/internal/experiments"
+)
+
+// benchScale compresses modeled time aggressively: benchmarks check that
+// the experiments run and give the harness stable per-exhibit timings.
+const benchScale = 4000
+
+// BenchmarkTable1_Scenarios regenerates Table I (E1): all five application
+// scenarios through one Pilot-API.
+func BenchmarkTable1_Scenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_PilotOverhead regenerates the pilot startup/overhead
+// characterization (E2).
+func BenchmarkTable2_PilotOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PilotOverhead(benchScale, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_RexScaling regenerates replica-exchange strong scaling
+// with the analytical model (E3).
+func BenchmarkTable2_RexScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RexScaling(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_PilotData regenerates the data-aware vs data-oblivious
+// comparison (E4).
+func BenchmarkTable2_PilotData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PilotData(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_MapReduce regenerates Pilot-Hadoop wordcount strong
+// scaling (E5).
+func BenchmarkTable2_MapReduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MapReduceScaling(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_PilotMemory regenerates the iterative K-Means
+// memory-vs-disk comparison (E6).
+func BenchmarkTable2_PilotMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PilotMemory(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_Streaming regenerates the throughput/latency scaling of
+// Pilot-Streaming (E7).
+func BenchmarkTable2_Streaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Streaming(benchScale, 600); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_Serverless regenerates the cluster-vs-serverless stream
+// processing comparison (E7b, [73]).
+func BenchmarkTable2_Serverless(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ServerlessStreaming(benchScale, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_ThroughputModel regenerates the statistical throughput
+// model fit + holdout validation (E8).
+func BenchmarkTable2_ThroughputModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.ThroughputModel(benchScale, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLateBinding regenerates the direct-vs-pilot comparison (E9).
+func BenchmarkLateBinding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LateBinding(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicScaling regenerates the runtime cloud-bursting study
+// (E9b, R3 dynamism).
+func BenchmarkDynamicScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DynamicScaling(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5_Loop regenerates the automated build-assess-refine loop
+// (E10, Figure 5).
+func BenchmarkFig5_Loop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig5Loop(benchScale, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Algorithm regenerates the algorithm-vs-scale-out
+// ablation (E11).
+func BenchmarkAblation_Algorithm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationAlgorithm(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnKF_Adaptive regenerates the adaptive EnKF study (E12).
+func BenchmarkEnKF_Adaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EnKFAdaptive(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,422 @@
+// Package kmeans implements the K-Means case study used across the
+// paper's evaluation (Table II: Pilot-Data, Pilot-Hadoop, Pilot-Memory and
+// Pilot-Streaming all cite K-Means [55]). It is a real Lloyd's-algorithm
+// implementation over partitioned synthetic data: the assignment step fans
+// out one compute-unit per partition; centroid aggregation is the global
+// reduction of the "Iterative" scenario; partitions are either re-read
+// through Pilot-Data each iteration (disk mode) or cached in Pilot-Memory
+// (memory mode) — the contrast experiment E6 measures.
+package kmeans
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gopilot/internal/core"
+	"gopilot/internal/data"
+	"gopilot/internal/infra"
+	"gopilot/internal/memory"
+)
+
+// Point is a dense vector.
+type Point []float64
+
+// Dataset is a set of points with a generation recipe, for reproducibility.
+type Dataset struct {
+	Points  []Point
+	Centers []Point // true generating centers
+	Dim     int
+}
+
+// Generate draws n points from k Gaussian clusters in dim dimensions.
+func Generate(n, k, dim int, spread float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]Point, k)
+	for i := range centers {
+		centers[i] = make(Point, dim)
+		for d := range centers[i] {
+			centers[i][d] = rng.Float64() * 100
+		}
+	}
+	points := make([]Point, n)
+	for i := range points {
+		c := centers[i%k]
+		p := make(Point, dim)
+		for d := range p {
+			p[d] = c[d] + rng.NormFloat64()*spread
+		}
+		points[i] = p
+	}
+	return &Dataset{Points: points, Centers: centers, Dim: dim}
+}
+
+// Partition splits the dataset into m contiguous partitions.
+func (ds *Dataset) Partition(m int) [][]Point {
+	if m <= 0 {
+		m = 1
+	}
+	out := make([][]Point, m)
+	for i := range out {
+		lo := i * len(ds.Points) / m
+		hi := (i + 1) * len(ds.Points) / m
+		out[i] = ds.Points[lo:hi]
+	}
+	return out
+}
+
+// dist2 is the squared Euclidean distance.
+func dist2(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Assign labels each point with its nearest centroid and returns per-
+// centroid sums and counts — the partial aggregates a partition task emits.
+func Assign(points []Point, centroids []Point) (sums []Point, counts []int, inertia float64) {
+	k := len(centroids)
+	if k == 0 {
+		return nil, nil, 0
+	}
+	dim := len(centroids[0])
+	sums = make([]Point, k)
+	for i := range sums {
+		sums[i] = make(Point, dim)
+	}
+	counts = make([]int, k)
+	for _, p := range points {
+		best, bestD := 0, math.MaxFloat64
+		for c := range centroids {
+			if d := dist2(p, centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		counts[best]++
+		inertia += bestD
+		for d := range p {
+			sums[best][d] += p[d]
+		}
+	}
+	return sums, counts, inertia
+}
+
+// Reduce merges partial aggregates into new centroids. Empty clusters keep
+// their previous centroid.
+func Reduce(prev []Point, sums [][]Point, counts [][]int) []Point {
+	k := len(prev)
+	if k == 0 {
+		return nil
+	}
+	dim := len(prev[0])
+	next := make([]Point, k)
+	for c := 0; c < k; c++ {
+		total := 0
+		acc := make(Point, dim)
+		for p := range sums {
+			total += counts[p][c]
+			for d := 0; d < dim; d++ {
+				acc[d] += sums[p][c][d]
+			}
+		}
+		if total == 0 {
+			next[c] = append(Point(nil), prev[c]...)
+			continue
+		}
+		for d := range acc {
+			acc[d] /= float64(total)
+		}
+		next[c] = acc
+	}
+	return next
+}
+
+// Sequential runs Lloyd's algorithm in-process — the reference
+// implementation tests compare the distributed runs against.
+func Sequential(points []Point, k, maxIter int, tol float64, seed int64) (centroids []Point, inertia float64, iters int) {
+	centroids = initCentroids(points, k, seed)
+	for iters = 1; iters <= maxIter; iters++ {
+		sums, counts, in := Assign(points, centroids)
+		next := Reduce(centroids, [][]Point{sums}, [][]int{counts})
+		moved := centroidShift(centroids, next)
+		centroids, inertia = next, in
+		if moved < tol {
+			break
+		}
+	}
+	if iters > maxIter {
+		iters = maxIter
+	}
+	return centroids, inertia, iters
+}
+
+func initCentroids(points []Point, k int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Point, k)
+	for i := range out {
+		out[i] = append(Point(nil), points[rng.Intn(len(points))]...)
+	}
+	return out
+}
+
+func centroidShift(a, b []Point) float64 {
+	var s float64
+	for i := range a {
+		s += math.Sqrt(dist2(a[i], b[i]))
+	}
+	return s
+}
+
+// Mode selects how partition tasks obtain their data each iteration.
+type Mode int
+
+// Execution modes for the distributed run.
+const (
+	// ModeData re-reads every partition through Pilot-Data each iteration
+	// (the disk-based baseline).
+	ModeData Mode = iota
+	// ModeMemory caches partitions in Pilot-Memory after the first read.
+	ModeMemory
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeMemory {
+		return "pilot-memory"
+	}
+	return "pilot-data"
+}
+
+// Config describes a distributed K-Means run.
+type Config struct {
+	// K is the cluster count.
+	K int
+	// MaxIter bounds iterations.
+	MaxIter int
+	// Tol is the centroid-shift convergence threshold.
+	Tol float64
+	// Partitions is the task fan-out per iteration.
+	Partitions int
+	// Mode selects data access (disk vs memory).
+	Mode Mode
+	// Cache is required in ModeMemory.
+	Cache *memory.Cache
+	// Site places the generated partitions (default "siteA").
+	Site infra.Site
+	// BytesPerPoint inflates the modeled partition size so storage and
+	// transfer costs are realistic even with small real datasets
+	// (default 64 bytes/point).
+	BytesPerPoint int64
+	// Seed initializes centroids reproducibly.
+	Seed int64
+}
+
+// Result reports a distributed run.
+type Result struct {
+	Centroids []Point
+	Inertia   float64
+	Iters     int
+	// IterTimes records the modeled duration of each iteration.
+	IterTimes []time.Duration
+	// Elapsed is the total modeled runtime.
+	Elapsed time.Duration
+}
+
+// Stage uploads the dataset partitions into Pilot-Data, returning the
+// partition data-unit IDs. Call once before Run.
+func Stage(ctx context.Context, ds *data.Service, dataset *Dataset, cfg Config) ([]string, error) {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	site := cfg.Site
+	if site == "" {
+		site = "siteA"
+	}
+	bpp := cfg.BytesPerPoint
+	if bpp <= 0 {
+		bpp = 64
+	}
+	parts := dataset.Partition(cfg.Partitions)
+	ids := make([]string, len(parts))
+	for i, part := range parts {
+		ids[i] = fmt.Sprintf("kmeans-part-%d", i)
+		if err := ds.Put(ctx, data.Unit{
+			ID:          ids[i],
+			Content:     encodePoints(part),
+			LogicalSize: int64(len(part)) * bpp,
+			Site:        site,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
+// Run executes distributed K-Means on mgr's pilots. partIDs come from
+// Stage; the dataset parameter supplies initial centroids (and dimension).
+func Run(ctx context.Context, mgr *core.Manager, dataset *Dataset, partIDs []string, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		return nil, errors.New("kmeans: K must be positive")
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 10
+	}
+	if cfg.Mode == ModeMemory && cfg.Cache == nil {
+		return nil, errors.New("kmeans: ModeMemory requires a cache")
+	}
+	clock := mgr.Clock()
+	start := clock.Now()
+	centroids := initCentroids(dataset.Points, cfg.K, cfg.Seed)
+	res := &Result{}
+
+	bpp := cfg.BytesPerPoint
+	if bpp <= 0 {
+		bpp = 64
+	}
+
+	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		iterStart := clock.Now()
+		type partial struct {
+			sums   []Point
+			counts []int
+			in     float64
+		}
+		partials := make([]partial, len(partIDs))
+		var mu sync.Mutex
+		cents := clonePoints(centroids)
+
+		units := make([]*core.ComputeUnit, 0, len(partIDs))
+		for i, id := range partIDs {
+			i, id := i, id
+			u, err := mgr.SubmitUnit(core.UnitDescription{
+				Name:      fmt.Sprintf("kmeans-i%d-p%d", iter, i),
+				InputData: []string{id},
+				Run: func(ctx context.Context, tc core.TaskContext) error {
+					points, err := loadPartition(ctx, tc, cfg, id, bpp)
+					if err != nil {
+						return err
+					}
+					sums, counts, in := Assign(points, cents)
+					mu.Lock()
+					partials[i] = partial{sums, counts, in}
+					mu.Unlock()
+					return nil
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+		for _, u := range units {
+			if s, err := u.Wait(ctx); s != core.UnitDone {
+				return nil, fmt.Errorf("kmeans: unit %s %v: %w", u.ID(), s, err)
+			}
+		}
+		allSums := make([][]Point, len(partials))
+		allCounts := make([][]int, len(partials))
+		var inertia float64
+		for i, p := range partials {
+			allSums[i], allCounts[i] = p.sums, p.counts
+			inertia += p.in
+		}
+		next := Reduce(centroids, allSums, allCounts)
+		moved := centroidShift(centroids, next)
+		centroids = next
+		res.Inertia = inertia
+		res.Iters = iter
+		res.IterTimes = append(res.IterTimes, clock.Now().Sub(iterStart))
+		if moved < cfg.Tol {
+			break
+		}
+	}
+	res.Centroids = centroids
+	res.Elapsed = clock.Now().Sub(start)
+	return res, nil
+}
+
+// loadPartition fetches partition points via cache or data service.
+func loadPartition(ctx context.Context, tc core.TaskContext, cfg Config, id string, bpp int64) ([]Point, error) {
+	read := func(ctx context.Context) (any, error) {
+		raw, err := tc.Data.Read(ctx, id, tc.Site)
+		if err != nil {
+			return nil, err
+		}
+		return decodePoints(raw)
+	}
+	if cfg.Mode == ModeMemory {
+		size, _ := tc.Data.Size(id)
+		if size == 0 {
+			size = bpp
+		}
+		v, err := cfg.Cache.GetOrLoad(ctx, id, size, read)
+		if err != nil {
+			return nil, err
+		}
+		return v.([]Point), nil
+	}
+	v, err := read(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Point), nil
+}
+
+func clonePoints(ps []Point) []Point {
+	out := make([]Point, len(ps))
+	for i, p := range ps {
+		out[i] = append(Point(nil), p...)
+	}
+	return out
+}
+
+// encodePoints serializes points as float64 little-endian with a small
+// header (dim, count).
+func encodePoints(ps []Point) []byte {
+	if len(ps) == 0 {
+		return make([]byte, 16)
+	}
+	dim := len(ps[0])
+	buf := make([]byte, 16+8*dim*len(ps))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(dim))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(ps)))
+	off := 16
+	for _, p := range ps {
+		for _, v := range p {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	return buf
+}
+
+func decodePoints(buf []byte) ([]Point, error) {
+	if len(buf) < 16 {
+		return nil, errors.New("kmeans: truncated partition")
+	}
+	dim := int(binary.LittleEndian.Uint64(buf[0:]))
+	n := int(binary.LittleEndian.Uint64(buf[8:]))
+	want := 16 + 8*dim*n
+	if len(buf) < want {
+		return nil, fmt.Errorf("kmeans: partition has %d bytes, want %d", len(buf), want)
+	}
+	out := make([]Point, n)
+	off := 16
+	for i := range out {
+		p := make(Point, dim)
+		for d := range p {
+			p[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		out[i] = p
+	}
+	return out, nil
+}

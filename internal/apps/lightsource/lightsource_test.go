@@ -1,0 +1,125 @@
+package lightsource
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetectorFramesReproducible(t *testing.T) {
+	d1 := NewDetector(32, 32, 1, 20, 2, 7)
+	d2 := NewDetector(32, 32, 1, 20, 2, 7)
+	f1, f2 := d1.Next(), d2.Next()
+	if f1.TruePeakX != f2.TruePeakX || f1.TruePeakY != f2.TruePeakY {
+		t.Fatal("peaks differ for same seed")
+	}
+	for i := range f1.Pixels {
+		if f1.Pixels[i] != f2.Pixels[i] {
+			t.Fatal("pixels differ for same seed")
+		}
+	}
+}
+
+func TestFrameIDsIncrement(t *testing.T) {
+	d := NewDetector(16, 16, 1, 20, 2, 1)
+	for i := uint32(0); i < 5; i++ {
+		if f := d.Next(); f.ID != i {
+			t.Fatalf("frame ID = %d, want %d", f.ID, i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := NewDetector(24, 16, 1, 20, 2, 3)
+	f := d.Next()
+	got, err := Decode(Encode(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != f.ID || got.Width != f.Width || got.Height != f.Height {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.TruePeakX != f.TruePeakX || got.TruePeakY != f.TruePeakY {
+		t.Fatal("peak mismatch")
+	}
+	for i := range f.Pixels {
+		if got.Pixels[i] != f.Pixels[i] {
+			t.Fatal("pixel mismatch")
+		}
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	if _, err := Decode([]byte{1, 2}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	d := NewDetector(8, 8, 1, 20, 2, 1)
+	buf := Encode(d.Next())
+	if _, err := Decode(buf[:len(buf)-5]); err == nil {
+		t.Error("truncated pixels accepted")
+	}
+}
+
+func TestReconstructFindsPlantedPeak(t *testing.T) {
+	d := NewDetector(48, 48, 0.5, 30, 2, 11)
+	for i := 0; i < 20; i++ {
+		f := d.Next()
+		r := Reconstruct(f, 3)
+		if !r.Found {
+			t.Fatalf("frame %d: peak not found", f.ID)
+		}
+		if r.Error > 3 {
+			t.Fatalf("frame %d: peak error %.2f px (true %.1f,%.1f got %.1f,%.1f)",
+				f.ID, r.Error, f.TruePeakX, f.TruePeakY, r.PeakX, r.PeakY)
+		}
+	}
+}
+
+func TestReconstructPureNoiseRarelyFires(t *testing.T) {
+	// No peak (amplitude ~ noise): with a high threshold the centroid
+	// should either not fire or fire with tiny integrated intensity.
+	d := NewDetector(32, 32, 1, 0.001, 2, 13)
+	fires := 0
+	for i := 0; i < 20; i++ {
+		f := d.Next()
+		if r := Reconstruct(f, 5); r.Found && r.PeakIntensity > 50 {
+			fires++
+		}
+	}
+	if fires > 2 {
+		t.Fatalf("noise-only frames fired strongly %d/20 times", fires)
+	}
+}
+
+func TestReconstructEmptyFrame(t *testing.T) {
+	r := Reconstruct(Frame{}, 3)
+	if r.Found {
+		t.Fatal("empty frame found a peak")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary dimensions.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(w8, h8 uint8, seed int64) bool {
+		w := int(w8%32) + 1
+		h := int(h8%32) + 1
+		d := NewDetector(w, h, 1, 10, 1, seed)
+		fr := d.Next()
+		got, err := Decode(Encode(fr))
+		if err != nil {
+			return false
+		}
+		return got.Width == w && got.Height == h && len(got.Pixels) == w*h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructionIntensityPositive(t *testing.T) {
+	d := NewDetector(32, 32, 0.5, 25, 2, 17)
+	r := Reconstruct(d.Next(), 3)
+	if !r.Found || r.PeakIntensity <= 0 || math.IsNaN(r.PeakIntensity) {
+		t.Fatalf("reconstruction = %+v", r)
+	}
+}

@@ -1,0 +1,213 @@
+// Package mdanalysis implements the task-parallel molecular-dynamics
+// trajectory analysis of Paraskevakos et al. [53]: Hausdorff distance
+// between trajectory pairs, RMSD time series, and a leaflet finder
+// (connected components over an atom proximity graph). The paper's §VI
+// lesson "Optimize Application Algorithms" comes from exactly this study —
+// the early-break Hausdorff variant (ablation E11) beats scaling out the
+// naive O(n·m) one.
+package mdanalysis
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Point3 is a 3-D coordinate.
+type Point3 [3]float64
+
+// Frame is one trajectory frame: positions of all atoms.
+type Frame []Point3
+
+// Trajectory is a sequence of frames.
+type Trajectory []Frame
+
+// GenerateTrajectory random-walks n atoms over f frames (step σ), starting
+// from a compact blob — a synthetic stand-in for an MD trajectory with the
+// same data shape.
+func GenerateTrajectory(atoms, frames int, step float64, seed int64) Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	cur := make(Frame, atoms)
+	for i := range cur {
+		for d := 0; d < 3; d++ {
+			cur[i][d] = rng.NormFloat64() * 5
+		}
+	}
+	out := make(Trajectory, frames)
+	for f := 0; f < frames; f++ {
+		next := make(Frame, atoms)
+		for i := range cur {
+			for d := 0; d < 3; d++ {
+				next[i][d] = cur[i][d] + rng.NormFloat64()*step
+			}
+		}
+		out[f] = next
+		cur = next
+	}
+	return out
+}
+
+func dist2(a, b Point3) float64 {
+	dx := a[0] - b[0]
+	dy := a[1] - b[1]
+	dz := a[2] - b[2]
+	return dx*dx + dy*dy + dz*dz
+}
+
+// HausdorffNaive computes the symmetric Hausdorff distance between two
+// point sets with the textbook O(n·m) double scan.
+func HausdorffNaive(a, b Frame) float64 {
+	return math.Sqrt(math.Max(directedMax(a, b, false), directedMax(b, a, false)))
+}
+
+// HausdorffEarlyBreak computes the same value with the early-break
+// optimization (Taha & Hanbury): the inner scan aborts as soon as a
+// distance below the current outer maximum is found. Identical result,
+// often an order of magnitude fewer distance evaluations.
+func HausdorffEarlyBreak(a, b Frame) float64 {
+	return math.Sqrt(math.Max(directedMax(a, b, true), directedMax(b, a, true)))
+}
+
+// directedMax returns max over x in xs of (min over y in ys of d²(x,y)).
+func directedMax(xs, ys Frame, earlyBreak bool) float64 {
+	cmax := 0.0
+	for _, x := range xs {
+		cmin := math.MaxFloat64
+		for _, y := range ys {
+			d := dist2(x, y)
+			if d < cmin {
+				cmin = d
+			}
+			if earlyBreak && cmin <= cmax {
+				break
+			}
+		}
+		if cmin > cmax && cmin != math.MaxFloat64 {
+			cmax = cmin
+		}
+	}
+	return cmax
+}
+
+// DistanceOps counts distance evaluations for both variants — the metric
+// the ablation reports alongside runtime.
+func DistanceOps(a, b Frame, earlyBreak bool) int {
+	count := 0
+	directed := func(xs, ys Frame) float64 {
+		cmax := 0.0
+		for _, x := range xs {
+			cmin := math.MaxFloat64
+			for _, y := range ys {
+				count++
+				d := dist2(x, y)
+				if d < cmin {
+					cmin = d
+				}
+				if earlyBreak && cmin <= cmax {
+					break
+				}
+			}
+			if cmin > cmax && cmin != math.MaxFloat64 {
+				cmax = cmin
+			}
+		}
+		return cmax
+	}
+	_ = math.Max(directed(a, b), directed(b, a))
+	return count
+}
+
+// RMSD computes the root-mean-square deviation between two frames of the
+// same atom count (no superposition — trajectories are pre-aligned here).
+func RMSD(a, b Frame) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		s += dist2(a[i], b[i])
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+// RMSDSeries computes RMSD of every frame against the first — the classic
+// per-trajectory analysis task (one compute-unit per trajectory in [53]).
+func RMSDSeries(t Trajectory) []float64 {
+	if len(t) == 0 {
+		return nil
+	}
+	out := make([]float64, len(t))
+	for i, f := range t {
+		out[i] = RMSD(t[0], f)
+	}
+	return out
+}
+
+// LeafletFinder partitions atoms into spatially connected components
+// ("leaflets"): atoms closer than cutoff are connected; components are
+// found with union-find over the proximity graph — the graph-based
+// algorithm of the MDAnalysis leaflet finder.
+func LeafletFinder(f Frame, cutoff float64) [][]int {
+	n := len(f)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	c2 := cutoff * cutoff
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist2(f[i], f[j]) <= c2 {
+				union(i, j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	// Deterministic order: largest first, then by first atom index.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if len(out[j]) > len(out[i]) || (len(out[j]) == len(out[i]) && out[j][0] < out[i][0]) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// GenerateBilayer builds a synthetic membrane: two parallel sheets of
+// atoms separated in z, with jitter — the structure LeafletFinder should
+// split into exactly two components.
+func GenerateBilayer(perLeaflet int, gap float64, seed int64) Frame {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(Frame, 0, perLeaflet*2)
+	side := int(math.Ceil(math.Sqrt(float64(perLeaflet))))
+	for leaflet := 0; leaflet < 2; leaflet++ {
+		z := float64(leaflet) * gap
+		for i := 0; i < perLeaflet; i++ {
+			x := float64(i%side) + rng.Float64()*0.2
+			y := float64(i/side) + rng.Float64()*0.2
+			out = append(out, Point3{x, y, z + rng.Float64()*0.1})
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package mdanalysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateTrajectoryShape(t *testing.T) {
+	tr := GenerateTrajectory(50, 10, 0.5, 1)
+	if len(tr) != 10 {
+		t.Fatalf("frames = %d", len(tr))
+	}
+	for _, f := range tr {
+		if len(f) != 50 {
+			t.Fatalf("atoms = %d", len(f))
+		}
+	}
+}
+
+func TestHausdorffIdenticalSetsIsZero(t *testing.T) {
+	f := GenerateTrajectory(40, 1, 0.5, 2)[0]
+	if d := HausdorffNaive(f, f); d != 0 {
+		t.Fatalf("H(a,a) = %g, want 0", d)
+	}
+	if d := HausdorffEarlyBreak(f, f); d != 0 {
+		t.Fatalf("H_eb(a,a) = %g, want 0", d)
+	}
+}
+
+func TestHausdorffKnownValue(t *testing.T) {
+	a := Frame{{0, 0, 0}, {1, 0, 0}}
+	b := Frame{{0, 0, 0}, {4, 0, 0}}
+	// directed a→b: max(min(0,4), min(1,3)) = 1... min for (1,0,0) is 3.
+	// d(a→b)=3? point (1,0,0): distances 1,3 → min 1. So a→b max = 1.
+	// b→a: (0,0,0)→0; (4,0,0)→ min(4,3)=3. symmetric H = 3.
+	if d := HausdorffNaive(a, b); math.Abs(d-3) > 1e-12 {
+		t.Fatalf("H = %g, want 3", d)
+	}
+}
+
+// Property: early-break equals naive on random frames (the optimization
+// must be exact), and the metric axioms hold (symmetry, identity).
+func TestEarlyBreakEqualsNaive(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := GenerateTrajectory(30, 1, 1.0, seedA)[0]
+		b := GenerateTrajectory(30, 1, 1.0, seedB)[0]
+		naive := HausdorffNaive(a, b)
+		eb := HausdorffEarlyBreak(a, b)
+		if math.Abs(naive-eb) > 1e-12 {
+			return false
+		}
+		return math.Abs(HausdorffNaive(a, b)-HausdorffNaive(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyBreakDoesFewerOps(t *testing.T) {
+	a := GenerateTrajectory(200, 1, 1.0, 5)[0]
+	b := GenerateTrajectory(200, 1, 1.0, 6)[0]
+	naiveOps := DistanceOps(a, b, false)
+	ebOps := DistanceOps(a, b, true)
+	if naiveOps != 2*200*200 {
+		t.Fatalf("naive ops = %d, want %d", naiveOps, 2*200*200)
+	}
+	if ebOps >= naiveOps {
+		t.Fatalf("early break ops %d not fewer than naive %d", ebOps, naiveOps)
+	}
+	// The paper's §VI lesson: the algorithmic win is large.
+	if float64(ebOps) > 0.8*float64(naiveOps) {
+		t.Errorf("early break saved only %d of %d ops", naiveOps-ebOps, naiveOps)
+	}
+}
+
+func TestRMSD(t *testing.T) {
+	a := Frame{{0, 0, 0}, {0, 0, 0}}
+	b := Frame{{3, 4, 0}, {0, 0, 0}}
+	// mean squared = (25+0)/2 → rmsd = √12.5
+	if got := RMSD(a, b); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSD = %g", got)
+	}
+	if !math.IsNaN(RMSD(a, Frame{{0, 0, 0}})) {
+		t.Fatal("mismatched frames should be NaN")
+	}
+}
+
+func TestRMSDSeriesStartsAtZeroAndGrows(t *testing.T) {
+	tr := GenerateTrajectory(60, 20, 0.8, 9)
+	series := RMSDSeries(tr)
+	if len(series) != 20 {
+		t.Fatalf("series length %d", len(series))
+	}
+	if series[0] != 0 {
+		t.Fatalf("RMSD to self = %g", series[0])
+	}
+	// Random walk drifts: late RMSD should exceed early RMSD.
+	if series[19] <= series[1] {
+		t.Errorf("RMSD did not grow: %g → %g", series[1], series[19])
+	}
+	if RMSDSeries(nil) != nil {
+		t.Error("empty trajectory should yield nil")
+	}
+}
+
+func TestLeafletFinderSplitsBilayer(t *testing.T) {
+	f := GenerateBilayer(100, 10, 3) // two sheets 10 apart
+	groups := LeafletFinder(f, 2.0)
+	if len(groups) != 2 {
+		t.Fatalf("leaflets = %d, want 2", len(groups))
+	}
+	if len(groups[0])+len(groups[1]) != 200 {
+		t.Fatalf("atoms covered = %d", len(groups[0])+len(groups[1]))
+	}
+	// No atom may appear in both leaflets.
+	seen := map[int]bool{}
+	for _, g := range groups {
+		for _, idx := range g {
+			if seen[idx] {
+				t.Fatalf("atom %d in two leaflets", idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestLeafletFinderOneBlobOneGroup(t *testing.T) {
+	f := GenerateBilayer(50, 0.5, 4) // sheets nearly touching → one component
+	groups := LeafletFinder(f, 2.0)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1 for merged bilayer", len(groups))
+	}
+}
+
+func TestLeafletFinderSingletons(t *testing.T) {
+	f := Frame{{0, 0, 0}, {100, 0, 0}, {200, 0, 0}}
+	groups := LeafletFinder(f, 1.0)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3 singletons", len(groups))
+	}
+}

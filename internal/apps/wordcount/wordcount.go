@@ -1,0 +1,77 @@
+// Package wordcount provides the classic MapReduce wordcount application
+// (Table II's Pilot-Hadoop case study) plus a Zipfian corpus generator, so
+// benchmarks control corpus size and skew reproducibly.
+package wordcount
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"gopilot/internal/mapreduce"
+)
+
+// GenerateCorpus builds nSplits documents of wordsPerSplit words drawn
+// Zipf-skewed from a synthetic vocabulary of vocab words.
+func GenerateCorpus(nSplits, wordsPerSplit, vocab int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1, uint64(vocab-1))
+	out := make([]string, nSplits)
+	var sb strings.Builder
+	for i := range out {
+		sb.Reset()
+		for w := 0; w < wordsPerSplit; w++ {
+			fmt.Fprintf(&sb, "w%d ", z.Uint64())
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// Map tokenizes a split and emits (word, 1).
+func Map(_ context.Context, _ string, value string, emit func(k, v string)) error {
+	for _, w := range strings.Fields(value) {
+		emit(w, "1")
+	}
+	return nil
+}
+
+// Reduce sums counts per word. It doubles as the combiner.
+func Reduce(_ context.Context, key string, values []string, emit func(k, v string)) error {
+	sum := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("wordcount: bad count %q: %w", v, err)
+		}
+		sum += n
+	}
+	emit(key, strconv.Itoa(sum))
+	return nil
+}
+
+// Sequential counts words in-process, the reference for correctness tests.
+func Sequential(splits []string) map[string]int {
+	out := map[string]int{}
+	for _, s := range splits {
+		for _, w := range strings.Fields(s) {
+			out[w]++
+		}
+	}
+	return out
+}
+
+// Config assembles the MapReduce job configuration for a corpus already
+// staged as data-units.
+func Config(name string, inputIDs []string, reducers int) mapreduce.Config {
+	return mapreduce.Config{
+		Name:     name,
+		InputIDs: inputIDs,
+		Reducers: reducers,
+		Map:      Map,
+		Reduce:   Reduce,
+		Combine:  Reduce,
+	}
+}

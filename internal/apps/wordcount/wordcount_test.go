@@ -1,0 +1,93 @@
+package wordcount
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestGenerateCorpusShape(t *testing.T) {
+	c := GenerateCorpus(4, 100, 50, 1)
+	if len(c) != 4 {
+		t.Fatalf("splits = %d", len(c))
+	}
+	for _, s := range c {
+		if got := len(strings.Fields(s)); got != 100 {
+			t.Fatalf("words = %d, want 100", got)
+		}
+	}
+	// Reproducible.
+	c2 := GenerateCorpus(4, 100, 50, 1)
+	if c[0] != c2[0] {
+		t.Fatal("corpus not reproducible")
+	}
+}
+
+func TestCorpusIsSkewed(t *testing.T) {
+	c := GenerateCorpus(1, 5000, 100, 2)
+	counts := Sequential(c)
+	// Zipf: the most frequent word dominates the median word.
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 500 {
+		t.Fatalf("head word count = %d, corpus not skewed", max)
+	}
+}
+
+func TestMapEmitsOnes(t *testing.T) {
+	var got []string
+	Map(context.Background(), "", "a b a", func(k, v string) {
+		got = append(got, k+"="+v)
+	})
+	want := []string{"a=1", "b=1", "a=1"}
+	if len(got) != 3 {
+		t.Fatalf("emitted = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("emitted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReduceSums(t *testing.T) {
+	var k, v string
+	err := Reduce(context.Background(), "w", []string{"1", "2", "3"}, func(key, val string) { k, v = key, val })
+	if err != nil || k != "w" || v != "6" {
+		t.Fatalf("reduce = %q=%q err=%v", k, v, err)
+	}
+	if err := Reduce(context.Background(), "w", []string{"x"}, func(string, string) {}); err == nil {
+		t.Fatal("bad count accepted")
+	}
+}
+
+func TestSequentialCounts(t *testing.T) {
+	counts := Sequential([]string{"a b", "b c b"})
+	if counts["a"] != 1 || counts["b"] != 3 || counts["c"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestConfigAssembly(t *testing.T) {
+	cfg := Config("job", []string{"s1", "s2"}, 3)
+	if cfg.Name != "job" || len(cfg.InputIDs) != 2 || cfg.Reducers != 3 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Map == nil || cfg.Reduce == nil || cfg.Combine == nil {
+		t.Fatal("functions not wired")
+	}
+	// Reduce/Combine agreement: combining partials then reducing equals
+	// reducing everything (sum associativity).
+	var combined []string
+	cfg.Combine(context.Background(), "w", []string{"1", "1", "1"}, func(_, v string) { combined = append(combined, v) })
+	var final string
+	cfg.Reduce(context.Background(), "w", append(combined, "2"), func(_, v string) { final = v })
+	if n, _ := strconv.Atoi(final); n != 5 {
+		t.Fatalf("combine+reduce = %s, want 5", final)
+	}
+}

@@ -1,0 +1,610 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"gopilot/internal/infra"
+	"gopilot/internal/metrics"
+	"gopilot/internal/saga"
+	"gopilot/internal/vclock"
+)
+
+// Scheduler decides which pilot a pending unit binds to. Candidates are
+// running pilots with enough free cores; returning nil defers the unit.
+// Implementations live in package scheduler; the manager defaults to
+// first-fit FIFO.
+type Scheduler interface {
+	// Name identifies the policy in experiment reports.
+	Name() string
+	// SelectPilot picks a pilot for the unit from candidates (never empty).
+	SelectPilot(cu *ComputeUnit, candidates []*Pilot, data DataService) *Pilot
+}
+
+// firstFit is the default scheduler: bind to the first candidate, which —
+// given submit-order iteration — yields FIFO with opportunistic backfill.
+type firstFit struct{}
+
+func (firstFit) Name() string { return "first-fit" }
+
+func (firstFit) SelectPilot(cu *ComputeUnit, candidates []*Pilot, _ DataService) *Pilot {
+	return candidates[0]
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Registry resolves pilot resource URLs to saga services.
+	Registry *saga.Registry
+	// Clock supplies virtual time; defaults to vclock.Real.
+	Clock vclock.Clock
+	// Scheduler is the late-binding policy; defaults to first-fit FIFO.
+	Scheduler Scheduler
+	// Data is the Pilot-Data service; nil disables data staging.
+	Data DataService
+	// OnUnitChange, if set, observes every unit state transition
+	// (instrumentation hook used by the Mini-App framework).
+	OnUnitChange func(cu *ComputeUnit, state UnitState)
+}
+
+// Manager is the Pilot-Manager of the P* model: it owns pilots, the shared
+// unit queue, and the late-binding dispatch cycle. It corresponds to the
+// Pilot-API's PilotComputeService/ComputeDataService pair.
+type Manager struct {
+	cfg Config
+
+	mu          sync.Mutex
+	pilots      []*Pilot
+	pending     []*ComputeUnit
+	units       []*ComputeUnit
+	nextPilotID int
+	nextUnitID  int
+	activeUnits int
+	idleCh      chan struct{}
+	closed      bool
+
+	kick chan struct{}
+	ctx  context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+}
+
+// ErrManagerClosed is returned by submissions after Close.
+var ErrManagerClosed = errors.New("core: manager closed")
+
+// NewManager creates a Manager and starts its dispatch loop.
+func NewManager(cfg Config) *Manager {
+	if cfg.Registry == nil {
+		cfg.Registry = saga.NewRegistry()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewReal()
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = firstFit{}
+	}
+	m := &Manager{
+		cfg:    cfg,
+		idleCh: make(chan struct{}),
+		kick:   make(chan struct{}, 1),
+	}
+	close(m.idleCh) // no active units yet: idle
+	m.ctx, m.stop = context.WithCancel(context.Background())
+	m.wg.Add(1)
+	go m.dispatchLoop()
+	return m
+}
+
+// Clock returns the manager's clock (tasks and frameworks share it).
+func (m *Manager) Clock() vclock.Clock { return m.cfg.Clock }
+
+// Data returns the configured data service (may be nil).
+func (m *Manager) Data() DataService { return m.cfg.Data }
+
+// Registry returns the saga registry.
+func (m *Manager) Registry() *saga.Registry { return m.cfg.Registry }
+
+// SchedulerName returns the active scheduling policy's name.
+func (m *Manager) SchedulerName() string { return m.cfg.Scheduler.Name() }
+
+// SubmitPilot submits a placeholder job to the resource named in the
+// description and returns immediately with a Pending pilot.
+func (m *Manager) SubmitPilot(d PilotDescription) (*Pilot, error) {
+	if d.Cores <= 0 {
+		d.Cores = 1
+	}
+	svc, err := m.cfg.Registry.Lookup(d.Resource)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrManagerClosed
+	}
+	m.nextPilotID++
+	p := &Pilot{
+		id:        fmt.Sprintf("pilot-%d", m.nextPilotID),
+		desc:      d,
+		manager:   m,
+		state:     PilotPending,
+		running:   make(map[*ComputeUnit]struct{}),
+		submitted: m.cfg.Clock.Now(),
+		work:      make(chan *ComputeUnit, d.Cores),
+		stopCh:    make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	m.pilots = append(m.pilots, p)
+	m.mu.Unlock()
+
+	job, err := svc.Submit(saga.Description{
+		Name:       d.Name,
+		TotalCores: d.Cores,
+		Walltime:   d.Walltime,
+		Payload:    p.agentRun,
+		Attributes: d.Attributes,
+	})
+	if err != nil {
+		m.mu.Lock()
+		for i, q := range m.pilots {
+			if q == p {
+				m.pilots = append(m.pilots[:i], m.pilots[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		return nil, fmt.Errorf("core: pilot submission to %s failed: %w", d.Resource, err)
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		<-job.Done()
+		m.pilotEnded(p, job)
+	}()
+	return p, nil
+}
+
+// SubmitUnit adds a unit to the shared queue for late binding.
+func (m *Manager) SubmitUnit(d UnitDescription) (*ComputeUnit, error) {
+	if d.Run == nil {
+		return nil, errors.New("core: unit description has nil Run")
+	}
+	if d.Cores <= 0 {
+		d.Cores = 1
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrManagerClosed
+	}
+	m.nextUnitID++
+	u := &ComputeUnit{
+		id:        fmt.Sprintf("unit-%d", m.nextUnitID),
+		desc:      d,
+		state:     UnitPending,
+		submitted: m.cfg.Clock.Now(),
+		done:      make(chan struct{}),
+	}
+	m.units = append(m.units, u)
+	m.pending = append(m.pending, u)
+	if m.activeUnits == 0 {
+		m.idleCh = make(chan struct{})
+	}
+	m.activeUnits++
+	m.mu.Unlock()
+	m.notify(u, UnitPending)
+	m.wake()
+	return u, nil
+}
+
+// SubmitUnits submits a batch of units in order.
+func (m *Manager) SubmitUnits(ds []UnitDescription) ([]*ComputeUnit, error) {
+	out := make([]*ComputeUnit, 0, len(ds))
+	for _, d := range ds {
+		u, err := m.SubmitUnit(d)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// CancelUnit cancels a unit: pending units terminate immediately, running
+// units have their task context canceled.
+func (m *Manager) CancelUnit(u *ComputeUnit) {
+	u.mu.Lock()
+	u.cancelled = true
+	cancel := u.cancelRun
+	state := u.state
+	u.mu.Unlock()
+	if state == UnitPending {
+		m.mu.Lock()
+		for i, q := range m.pending {
+			if q == u {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		m.finishUnit(nil, u, UnitCanceled, context.Canceled)
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Pilots returns a snapshot of all pilots.
+func (m *Manager) Pilots() []*Pilot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Pilot(nil), m.pilots...)
+}
+
+// Units returns a snapshot of all units ever submitted.
+func (m *Manager) Units() []*ComputeUnit {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*ComputeUnit(nil), m.units...)
+}
+
+// QueueDepth returns the number of units awaiting binding.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// WaitAll blocks until every submitted unit is terminal, or ctx is done.
+func (m *Manager) WaitAll(ctx context.Context) error {
+	for {
+		m.mu.Lock()
+		if m.activeUnits == 0 {
+			m.mu.Unlock()
+			return nil
+		}
+		ch := m.idleCh
+		m.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Close cancels all pilots and pending units and stops the dispatch loop.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	pend := append([]*ComputeUnit(nil), m.pending...)
+	m.pending = nil
+	pilots := append([]*Pilot(nil), m.pilots...)
+	m.mu.Unlock()
+
+	for _, u := range pend {
+		u.mu.Lock()
+		u.cancelled = true
+		u.mu.Unlock()
+		m.finishUnit(nil, u, UnitCanceled, ErrManagerClosed)
+	}
+	for _, p := range pilots {
+		p.Shutdown()
+	}
+	m.stop()
+	m.wg.Wait()
+}
+
+// UnitMetrics summarizes waiting/runtime/turnaround over all Done units, in
+// seconds — the raw material of the paper's performance tables.
+func (m *Manager) UnitMetrics() (waiting, runtime, turnaround metrics.Summary) {
+	m.mu.Lock()
+	units := append([]*ComputeUnit(nil), m.units...)
+	m.mu.Unlock()
+	var w, r, t []float64
+	for _, u := range units {
+		if u.State() != UnitDone {
+			continue
+		}
+		w = append(w, u.WaitingTime().Seconds())
+		r = append(r, u.Runtime().Seconds())
+		t = append(t, u.TurnaroundTime().Seconds())
+	}
+	return metrics.Summarize(w), metrics.Summarize(r), metrics.Summarize(t)
+}
+
+// ---------------------------------------------------------------------------
+// Internal machinery
+// ---------------------------------------------------------------------------
+
+func (m *Manager) wake() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Manager) notify(u *ComputeUnit, s UnitState) {
+	if m.cfg.OnUnitChange != nil {
+		m.cfg.OnUnitChange(u, s)
+	}
+}
+
+func (m *Manager) dispatchLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-m.kick:
+			m.dispatchOnce()
+		}
+	}
+}
+
+// dispatchOnce performs one late-binding pass: pending units, in submission
+// order, are offered to the scheduler; bound units are reserved onto their
+// pilot and handed to its agent. Units that fit nowhere stay queued, so
+// smaller later units may bind first (opportunistic backfill inside the
+// pilot pool).
+func (m *Manager) dispatchOnce() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var remaining []*ComputeUnit
+	now := m.cfg.Clock.Now()
+	for _, cu := range m.pending {
+		cands := m.candidatesLocked(cu)
+		if len(cands) == 0 {
+			remaining = append(remaining, cu)
+			continue
+		}
+		p := m.cfg.Scheduler.SelectPilot(cu, cands, m.cfg.Data)
+		if p == nil {
+			remaining = append(remaining, cu)
+			continue
+		}
+		p.mu.Lock()
+		p.freeCores -= cu.desc.Cores
+		p.running[cu] = struct{}{}
+		p.mu.Unlock()
+		cu.mu.Lock()
+		cu.state = UnitScheduled
+		cu.pilot = p
+		cu.scheduled = now
+		cu.mu.Unlock()
+		m.notify(cu, UnitScheduled)
+		// The work channel has capacity == pilot cores and every queued
+		// unit holds >= 1 reserved core, so this send cannot block.
+		p.work <- cu
+	}
+	m.pending = remaining
+}
+
+// candidatesLocked returns running pilots able to host cu right now.
+func (m *Manager) candidatesLocked(cu *ComputeUnit) []*Pilot {
+	var out []*Pilot
+	for _, p := range m.pilots {
+		p.mu.Lock()
+		ok := p.state == PilotRunning && p.freeCores >= cu.desc.Cores
+		p.mu.Unlock()
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// pilotStarted registers the agent's allocation (called from agentRun).
+func (m *Manager) pilotStarted(p *Pilot, alloc infra.Allocation) {
+	now := m.cfg.Clock.Now()
+	m.mu.Lock()
+	p.mu.Lock()
+	p.state = PilotRunning
+	p.site = alloc.Site
+	p.alloc = alloc
+	p.freeCores = p.desc.Cores
+	p.started = now
+	p.mu.Unlock()
+	m.mu.Unlock()
+	m.wake()
+}
+
+// pilotEnded finalizes a pilot when its placeholder job terminates, and
+// requeues units that were assigned but never picked up.
+func (m *Manager) pilotEnded(p *Pilot, job saga.Job) {
+	now := m.cfg.Clock.Now()
+	m.mu.Lock()
+	p.mu.Lock()
+	switch job.State() {
+	case saga.Done:
+		p.state = PilotDone
+	case saga.Canceled:
+		p.state = PilotCanceled
+		p.err = job.Err()
+	default:
+		p.state = PilotFailed
+		p.err = job.Err()
+	}
+	p.ended = now
+	p.mu.Unlock()
+
+	// Units stuck in the work channel (agent gone) go back to the queue.
+	var stranded []*ComputeUnit
+	for {
+		select {
+		case cu := <-p.work:
+			stranded = append(stranded, cu)
+		default:
+			goto drained
+		}
+	}
+drained:
+	m.mu.Unlock()
+	for _, cu := range stranded {
+		m.returnSlots(p, cu)
+		m.requeueOrFail(cu, fmt.Errorf("core: pilot %s terminated before unit start", p.id))
+	}
+	close(p.done)
+	m.wake()
+}
+
+func (m *Manager) cancelPilot(p *Pilot) {
+	// Cancel the placeholder job through the agent context: closing stopCh
+	// makes agentRun return nil, which ends the saga job as Done; to force
+	// cancellation semantics we mark the state first.
+	p.Shutdown()
+}
+
+// executeUnit stages, runs and finalizes one unit on pilot p. It runs on
+// the agent's goroutine pool; ctx is the pilot's payload context.
+func (m *Manager) executeUnit(ctx context.Context, p *Pilot, cu *ComputeUnit) {
+	if cu.State() == UnitCanceled || cu.isCancelled() {
+		m.returnSlots(p, cu)
+		m.finishUnit(p, cu, UnitCanceled, context.Canceled)
+		return
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cu.mu.Lock()
+	cu.cancelRun = cancel
+	cu.attempts++
+	cu.mu.Unlock()
+
+	site := p.Site()
+	// Stage inputs to the pilot's site (Pilot-Data integration).
+	if len(cu.desc.InputData) > 0 && m.cfg.Data != nil {
+		cu.setState(UnitStaging)
+		m.notify(cu, UnitStaging)
+		for _, id := range cu.desc.InputData {
+			if err := m.cfg.Data.StageIn(runCtx, id, site); err != nil {
+				m.returnSlots(p, cu)
+				if runCtx.Err() != nil && !cu.isCancelled() {
+					m.requeueOrFail(cu, fmt.Errorf("core: staging interrupted: %w", err))
+				} else if cu.isCancelled() {
+					m.finishUnit(p, cu, UnitCanceled, err)
+				} else {
+					m.finishUnit(p, cu, UnitFailed, fmt.Errorf("core: stage-in of %s failed: %w", id, err))
+				}
+				return
+			}
+		}
+	}
+
+	now := m.cfg.Clock.Now()
+	cu.mu.Lock()
+	cu.state = UnitRunning
+	cu.started = now
+	cu.mu.Unlock()
+	m.notify(cu, UnitRunning)
+
+	tc := TaskContext{
+		Unit:  cu,
+		Cores: cu.desc.Cores,
+		Site:  site,
+		Alloc: p.allocation(),
+		Data:  m.cfg.Data,
+		Sleep: m.cfg.Clock.Sleep,
+	}
+	err := cu.desc.Run(runCtx, tc)
+
+	m.returnSlots(p, cu)
+	switch {
+	case cu.isCancelled():
+		m.finishUnit(p, cu, UnitCanceled, context.Canceled)
+	case runCtx.Err() != nil && ctx.Err() != nil:
+		// The pilot died under the unit (walltime/eviction): retry budget
+		// decides between requeue and failure.
+		m.requeueOrFail(cu, fmt.Errorf("core: pilot %s lost during execution: %w", p.id, runCtx.Err()))
+	case err != nil:
+		m.finishUnit(p, cu, UnitFailed, err)
+	default:
+		m.finishUnit(p, cu, UnitDone, nil)
+	}
+}
+
+// returnSlots releases the unit's reservation on p.
+func (m *Manager) returnSlots(p *Pilot, cu *ComputeUnit) {
+	p.mu.Lock()
+	if _, ok := p.running[cu]; ok {
+		delete(p.running, cu)
+		p.freeCores += cu.desc.Cores
+		p.unitsDone++
+	}
+	p.mu.Unlock()
+	m.wake()
+}
+
+// requeueOrFail returns a unit to the pending queue if it has retry budget.
+func (m *Manager) requeueOrFail(cu *ComputeUnit, cause error) {
+	cu.mu.Lock()
+	retry := cu.attempts <= cu.desc.MaxRetries && !cu.cancelled
+	if retry {
+		cu.state = UnitPending
+		cu.pilot = nil
+		cu.cancelRun = nil
+	}
+	cu.mu.Unlock()
+	if !retry {
+		m.finishUnit(nil, cu, UnitFailed, cause)
+		return
+	}
+	m.mu.Lock()
+	closed := m.closed
+	if !closed {
+		m.pending = append(m.pending, cu)
+	}
+	m.mu.Unlock()
+	if closed {
+		m.finishUnit(nil, cu, UnitCanceled, ErrManagerClosed)
+		return
+	}
+	m.notify(cu, UnitPending)
+	m.wake()
+}
+
+// finishUnit moves a unit to a terminal state exactly once.
+func (m *Manager) finishUnit(p *Pilot, cu *ComputeUnit, s UnitState, err error) {
+	now := m.cfg.Clock.Now()
+	cu.mu.Lock()
+	if cu.state.Terminal() {
+		cu.mu.Unlock()
+		return
+	}
+	cu.state = s
+	cu.err = err
+	cu.ended = now
+	cu.mu.Unlock()
+	close(cu.done)
+	m.notify(cu, s)
+
+	m.mu.Lock()
+	m.activeUnits--
+	if m.activeUnits == 0 {
+		close(m.idleCh)
+	}
+	m.mu.Unlock()
+}
+
+func (u *ComputeUnit) isCancelled() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.cancelled
+}
+
+func (u *ComputeUnit) setState(s UnitState) {
+	u.mu.Lock()
+	u.state = s
+	u.mu.Unlock()
+}
+
+func (p *Pilot) allocation() infra.Allocation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alloc
+}

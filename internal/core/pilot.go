@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gopilot/internal/infra"
+)
+
+// PilotState is the pilot lifecycle of the P* model.
+type PilotState int
+
+// Pilot states: a pilot is Pending while its placeholder job sits in the
+// backend's queue, Running once the agent has started on the allocation,
+// and terminal afterwards.
+const (
+	PilotPending PilotState = iota
+	PilotRunning
+	PilotDone
+	PilotFailed
+	PilotCanceled
+)
+
+// String implements fmt.Stringer.
+func (s PilotState) String() string {
+	switch s {
+	case PilotPending:
+		return "Pending"
+	case PilotRunning:
+		return "Running"
+	case PilotDone:
+		return "Done"
+	case PilotFailed:
+		return "Failed"
+	case PilotCanceled:
+		return "Canceled"
+	default:
+		return fmt.Sprintf("PilotState(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s PilotState) Terminal() bool {
+	return s == PilotDone || s == PilotFailed || s == PilotCanceled
+}
+
+// PilotDescription describes the placeholder job to submit (the P* pilot
+// description).
+type PilotDescription struct {
+	// Name labels the pilot.
+	Name string
+	// Resource is the saga registry URL of the target infrastructure,
+	// e.g. "hpc://stampede" or "cloud://ec2".
+	Resource string
+	// Cores is the size of the placeholder.
+	Cores int
+	// Walltime bounds the pilot's lifetime on the resource.
+	Walltime time.Duration
+	// Attributes carries backend-specific hints (queue, vm_type, ...).
+	Attributes map[string]string
+}
+
+// Pilot is a handle to a submitted pilot.
+type Pilot struct {
+	id      string
+	desc    PilotDescription
+	manager *Manager
+
+	mu        sync.Mutex
+	state     PilotState
+	site      infra.Site
+	alloc     infra.Allocation
+	freeCores int
+	running   map[*ComputeUnit]struct{}
+	unitsDone int
+	err       error
+	submitted time.Time
+	started   time.Time
+	ended     time.Time
+
+	work     chan *ComputeUnit
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+}
+
+// ID returns the manager-assigned pilot id.
+func (p *Pilot) ID() string { return p.id }
+
+// Description returns the pilot description.
+func (p *Pilot) Description() PilotDescription { return p.desc }
+
+// State returns the current state.
+func (p *Pilot) State() PilotState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// Err returns the terminal error, if any.
+func (p *Pilot) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Site returns the site of the granted allocation (set once Running).
+func (p *Pilot) Site() infra.Site {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.site
+}
+
+// TotalCores returns the pilot's configured capacity.
+func (p *Pilot) TotalCores() int { return p.desc.Cores }
+
+// FreeCores returns the currently unreserved capacity.
+func (p *Pilot) FreeCores() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.freeCores
+}
+
+// RunningUnits returns the number of units currently executing.
+func (p *Pilot) RunningUnits() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.running)
+}
+
+// UnitsCompleted returns the number of units this pilot has finished.
+func (p *Pilot) UnitsCompleted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.unitsDone
+}
+
+// Done returns a channel closed when the pilot reaches a terminal state.
+func (p *Pilot) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the pilot terminates or ctx is canceled.
+func (p *Pilot) Wait(ctx context.Context) (PilotState, error) {
+	select {
+	case <-p.done:
+		return p.State(), p.Err()
+	case <-ctx.Done():
+		return p.State(), ctx.Err()
+	}
+}
+
+// StartupTime returns submission → agent start (the pilot startup overhead
+// measured by experiment E2); zero until Running.
+func (p *Pilot) StartupTime() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started.IsZero() {
+		return 0
+	}
+	return p.started.Sub(p.submitted)
+}
+
+// Cancel asks the manager to cancel the pilot; running units are requeued
+// or failed according to their retry budget.
+func (p *Pilot) Cancel() { p.manager.cancelPilot(p) }
+
+// Shutdown stops the agent gracefully once its queue channel drains; like
+// Cancel, but intended for normal teardown (pilot ends in Done).
+func (p *Pilot) Shutdown() {
+	p.stopOnce.Do(func() { close(p.stopCh) })
+}
+
+// agentRun is the pilot agent: the payload of the placeholder job. It
+// registers the allocation with the manager, then executes dispatched
+// units until the pilot is stopped, canceled or hits walltime.
+func (p *Pilot) agentRun(ctx context.Context, alloc infra.Allocation) error {
+	p.manager.pilotStarted(p, alloc)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		select {
+		case cu := <-p.work:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.manager.executeUnit(ctx, p, cu)
+			}()
+		case <-p.stopCh:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package core implements the pilot-abstraction — the paper's primary
+// contribution — following the P* model [6]: a Pilot is a placeholder job
+// that acquires resources from heterogeneous infrastructure; a ComputeUnit
+// is a self-contained task; the Manager (Pilot-Manager in P*) owns the
+// shared unit queue and performs *late binding* of units to pilots through
+// a pluggable Scheduler. Data-units are integrated as first-class citizens
+// via the DataService interface implemented by the Pilot-Data layer.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gopilot/internal/infra"
+)
+
+// UnitState is the compute-unit lifecycle of the P* model.
+type UnitState int
+
+// Compute-unit states. Units flow New → Pending → Scheduled → Staging →
+// Running → {Done, Failed, Canceled}; a unit whose pilot dies mid-run may
+// return to Pending (retry).
+const (
+	UnitNew UnitState = iota
+	UnitPending
+	UnitScheduled
+	UnitStaging
+	UnitRunning
+	UnitDone
+	UnitFailed
+	UnitCanceled
+)
+
+// String implements fmt.Stringer.
+func (s UnitState) String() string {
+	switch s {
+	case UnitNew:
+		return "New"
+	case UnitPending:
+		return "Pending"
+	case UnitScheduled:
+		return "Scheduled"
+	case UnitStaging:
+		return "Staging"
+	case UnitRunning:
+		return "Running"
+	case UnitDone:
+		return "Done"
+	case UnitFailed:
+		return "Failed"
+	case UnitCanceled:
+		return "Canceled"
+	default:
+		return fmt.Sprintf("UnitState(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s UnitState) Terminal() bool {
+	return s == UnitDone || s == UnitFailed || s == UnitCanceled
+}
+
+// TaskContext is the execution environment handed to a unit's TaskFunc.
+type TaskContext struct {
+	// Unit is the unit being executed.
+	Unit *ComputeUnit
+	// Cores granted to this unit.
+	Cores int
+	// Site the unit runs at (for data-locality-aware application code).
+	Site infra.Site
+	// Alloc describes the hosting pilot's allocation.
+	Alloc infra.Allocation
+	// Data is the Pilot-Data service, or nil if the manager has none.
+	Data DataService
+	// Sleep blocks for a modeled duration, honoring cancellation — tasks
+	// use it to model compute phases without binding to wall time.
+	Sleep func(ctx context.Context, d time.Duration) bool
+}
+
+// TaskFunc is the body of a compute unit.
+type TaskFunc func(ctx context.Context, tc TaskContext) error
+
+// UnitDescription describes a compute unit (the P* compute-unit
+// description, extended with data dependencies per Pilot-Data [66]).
+type UnitDescription struct {
+	// Name labels the unit.
+	Name string
+	// Cores is the number of cores the unit needs (default 1).
+	Cores int
+	// Run is the unit body.
+	Run TaskFunc
+	// InputData lists data-unit IDs staged to the execution site before the
+	// unit starts.
+	InputData []string
+	// OutputData lists data-unit IDs the unit promises to produce; used by
+	// data-aware schedulers for placement of downstream consumers.
+	OutputData []string
+	// AffinitySite is an optional placement preference.
+	AffinitySite infra.Site
+	// MaxRetries bounds automatic resubmission after pilot failure.
+	MaxRetries int
+}
+
+// ComputeUnit is a handle to a submitted unit.
+type ComputeUnit struct {
+	id   string
+	desc UnitDescription
+
+	mu        sync.Mutex
+	state     UnitState
+	pilot     *Pilot
+	attempts  int
+	err       error
+	submitted time.Time
+	scheduled time.Time
+	started   time.Time
+	ended     time.Time
+	cancelled bool
+	cancelRun context.CancelFunc
+
+	done chan struct{}
+}
+
+// ID returns the manager-assigned unit id.
+func (u *ComputeUnit) ID() string { return u.id }
+
+// Description returns the unit description.
+func (u *ComputeUnit) Description() UnitDescription { return u.desc }
+
+// State returns the current state.
+func (u *ComputeUnit) State() UnitState {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.state
+}
+
+// Err returns the terminal error, if any.
+func (u *ComputeUnit) Err() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.err
+}
+
+// Pilot returns the pilot the unit is (or was last) bound to, or nil.
+func (u *ComputeUnit) Pilot() *Pilot {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.pilot
+}
+
+// Attempts returns the number of execution attempts.
+func (u *ComputeUnit) Attempts() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.attempts
+}
+
+// Done returns a channel closed when the unit reaches a terminal state.
+func (u *ComputeUnit) Done() <-chan struct{} { return u.done }
+
+// Wait blocks until the unit terminates or ctx is canceled.
+func (u *ComputeUnit) Wait(ctx context.Context) (UnitState, error) {
+	select {
+	case <-u.done:
+		return u.State(), u.Err()
+	case <-ctx.Done():
+		return u.State(), ctx.Err()
+	}
+}
+
+// SubmitTime returns the modeled submission time.
+func (u *ComputeUnit) SubmitTime() time.Time {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.submitted
+}
+
+// StartTime returns the modeled execution start time (zero until Running).
+func (u *ComputeUnit) StartTime() time.Time {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.started
+}
+
+// EndTime returns the modeled termination time.
+func (u *ComputeUnit) EndTime() time.Time {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.ended
+}
+
+// WaitingTime is submission → binding: the late-binding queue delay.
+func (u *ComputeUnit) WaitingTime() time.Duration {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.scheduled.IsZero() {
+		return 0
+	}
+	return u.scheduled.Sub(u.submitted)
+}
+
+// Runtime is execution start → end.
+func (u *ComputeUnit) Runtime() time.Duration {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.started.IsZero() || u.ended.IsZero() {
+		return 0
+	}
+	return u.ended.Sub(u.started)
+}
+
+// TurnaroundTime is submission → end.
+func (u *ComputeUnit) TurnaroundTime() time.Duration {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.ended.IsZero() {
+		return 0
+	}
+	return u.ended.Sub(u.submitted)
+}
+
+// DataService is the contract between the pilot layer and Pilot-Data
+// (package data implements it). It treats data as a first-class citizen of
+// scheduling: units declare input/output data-units, schedulers query
+// placement, and the runtime stages replicas with modeled transfer costs.
+type DataService interface {
+	// Locate returns the sites currently holding a replica of the data unit.
+	Locate(id string) ([]infra.Site, bool)
+	// Size returns the data unit's size in bytes.
+	Size(id string) (int64, bool)
+	// StageIn ensures a replica exists at the target site, paying the
+	// modeled transfer cost.
+	StageIn(ctx context.Context, id string, to infra.Site) error
+	// Read returns the content of a data unit, reading from the named site
+	// (paying a transfer if the site has no replica).
+	Read(ctx context.Context, id string, at infra.Site) ([]byte, error)
+	// Write creates or replaces a data unit at the given site.
+	Write(ctx context.Context, id string, content []byte, at infra.Site) error
+}

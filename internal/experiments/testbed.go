@@ -1,0 +1,147 @@
+// Package experiments regenerates every table- and figure-shaped result in
+// the paper's evaluation (see DESIGN.md's per-experiment index E1–E12).
+// Each experiment builds a fresh simulated testbed — HPC machines with
+// batch queues, an HTC pool, a cloud region, a YARN cluster, Pilot-Data
+// sites — runs the workload through the pilot stack in virtual time, and
+// returns the same rows the paper reports. The cmd/experiments binary and
+// the root bench_test.go both drive this package.
+package experiments
+
+import (
+	"time"
+
+	"gopilot/internal/core"
+	"gopilot/internal/data"
+	"gopilot/internal/dist"
+	"gopilot/internal/infra"
+	"gopilot/internal/infra/cloud"
+	"gopilot/internal/infra/hpc"
+	"gopilot/internal/infra/htc"
+	"gopilot/internal/infra/yarn"
+	"gopilot/internal/saga"
+	"gopilot/internal/vclock"
+)
+
+// DefaultScale compresses one modeled second into one wall millisecond.
+const DefaultScale = 1000
+
+// Testbed is the simulated multi-infrastructure environment every
+// experiment runs on: two HPC machines (different queue pressure), an HTC
+// pool, a cloud region, a YARN cluster and a Pilot-Data service
+// federating their sites.
+type Testbed struct {
+	Clock    *vclock.Scaled
+	Registry *saga.Registry
+	HPCA     *hpc.Cluster
+	HPCB     *hpc.Cluster
+	HTC      *htc.Pool
+	Cloud    *cloud.Provider
+	Yarn     *yarn.Cluster
+	Data     *data.Service
+
+	managers []*core.Manager
+}
+
+// TestbedConfig tunes the environment.
+type TestbedConfig struct {
+	// Scale is the virtual-time factor (default DefaultScale).
+	Scale float64
+	// QueueWaitMean is machine A's mean exogenous queue wait in seconds
+	// (default 60). Machine B always waits 4× longer (a busier machine).
+	QueueWaitMean float64
+	// QueueWaitCV is the lognormal coefficient of variation (default 0.5).
+	QueueWaitCV float64
+	// Seed drives all infrastructure randomness.
+	Seed int64
+}
+
+// NewTestbed builds the environment.
+func NewTestbed(cfg TestbedConfig) *Testbed {
+	if cfg.Scale <= 0 {
+		cfg.Scale = DefaultScale
+	}
+	if cfg.QueueWaitMean <= 0 {
+		cfg.QueueWaitMean = 60
+	}
+	if cfg.QueueWaitCV <= 0 {
+		cfg.QueueWaitCV = 0.5
+	}
+	clock := vclock.NewScaled(cfg.Scale)
+	tb := &Testbed{Clock: clock, Registry: saga.NewRegistry()}
+
+	tb.HPCA = hpc.New(hpc.Config{
+		Name: "stampede", Nodes: 64, CoresPerNode: 16,
+		QueueWait:        dist.NewLogNormal(cfg.QueueWaitMean, cfg.QueueWaitCV, cfg.Seed+1),
+		DispatchOverhead: 2 * time.Second,
+		Backfill:         true,
+		Clock:            clock,
+	})
+	tb.HPCB = hpc.New(hpc.Config{
+		Name: "comet", Nodes: 32, CoresPerNode: 16,
+		QueueWait:        dist.NewLogNormal(cfg.QueueWaitMean*4, cfg.QueueWaitCV, cfg.Seed+2),
+		DispatchOverhead: 2 * time.Second,
+		Backfill:         true,
+		Clock:            clock,
+	})
+	tb.HTC = htc.New(htc.Config{
+		Name: "osg", Slots: 128,
+		MatchDelay: dist.NewLogNormal(15, 0.5, cfg.Seed+3),
+		Clock:      clock, Seed: cfg.Seed + 4,
+	})
+	tb.Cloud = cloud.New(cloud.Config{
+		Name: "ec2",
+		Types: []cloud.VMType{
+			{Name: "c5.2xlarge", Cores: 8, PricePerHour: 0.34},
+			{Name: "c5.4xlarge", Cores: 16, PricePerHour: 0.68},
+		},
+		BootDelay: dist.NewLogNormal(45, 0.3, cfg.Seed+5),
+		Clock:     clock,
+	})
+	tb.Yarn = yarn.New(yarn.Config{
+		Name: "yarn", TotalCores: 64,
+		AllocDelay: dist.NewLogNormal(1, 0.3, cfg.Seed+6),
+		Clock:      clock,
+	})
+
+	tb.Registry.Register(saga.NewLocalService("localhost", 64, clock))
+	tb.Registry.Register(saga.NewHPCService(tb.HPCA, clock))
+	tb.Registry.Register(saga.NewHPCService(tb.HPCB, clock))
+	tb.Registry.Register(saga.NewHTCService(tb.HTC, clock))
+	tb.Registry.Register(saga.NewCloudService(tb.Cloud, clock))
+	tb.Registry.Register(saga.NewYarnService(tb.Yarn, 8, clock))
+
+	tb.Data = data.NewService(data.Config{
+		Clock:          clock,
+		LocalBandwidth: 500e6,
+		DefaultLink:    data.Link{Bandwidth: 50e6, Latency: 100 * time.Millisecond},
+	})
+	for _, s := range []string{"localhost", "stampede", "comet", "osg", "ec2", "yarn"} {
+		tb.Data.AddSite(infra.Site(s))
+	}
+	return tb
+}
+
+// NewManager creates a pilot manager on the testbed (closed by Close).
+func (tb *Testbed) NewManager(sched core.Scheduler) *core.Manager {
+	m := core.NewManager(core.Config{
+		Registry:  tb.Registry,
+		Clock:     tb.Clock,
+		Scheduler: sched,
+		Data:      tb.Data,
+	})
+	tb.managers = append(tb.managers, m)
+	return m
+}
+
+// Close shuts every component down.
+func (tb *Testbed) Close() {
+	for _, m := range tb.managers {
+		m.Close()
+	}
+	tb.HPCA.Shutdown()
+	tb.HPCB.Shutdown()
+	tb.HTC.Shutdown()
+	tb.Cloud.Shutdown()
+	tb.Yarn.Shutdown()
+	tb.Registry.CloseAll()
+}

@@ -1,0 +1,176 @@
+package yarn
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gopilot/internal/dist"
+	"gopilot/internal/vclock"
+)
+
+func fastClock() vclock.Clock { return vclock.NewScaled(2000) }
+
+func TestRequestAndRelease(t *testing.T) {
+	c := New(Config{Name: "y", TotalCores: 32, AllocDelay: dist.Constant(0.01), Clock: fastClock()})
+	defer c.Shutdown()
+	cs, err := c.RequestContainers(context.Background(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 4 {
+		t.Fatalf("got %d containers, want 4", len(cs))
+	}
+	if c.FreeCores() != 16 {
+		t.Fatalf("FreeCores = %d, want 16", c.FreeCores())
+	}
+	c.Release(cs)
+	if c.FreeCores() != 32 {
+		t.Fatalf("FreeCores = %d after release, want 32", c.FreeCores())
+	}
+}
+
+func TestDoubleReleaseIsIdempotent(t *testing.T) {
+	c := New(Config{Name: "y", TotalCores: 8, AllocDelay: dist.Constant(0.001), Clock: fastClock()})
+	defer c.Shutdown()
+	cs, _ := c.RequestContainers(context.Background(), 1, 4)
+	c.Release(cs)
+	c.Release(cs)
+	if c.FreeCores() != 8 {
+		t.Fatalf("FreeCores = %d, want 8 (no double credit)", c.FreeCores())
+	}
+}
+
+func TestBlocksUntilCapacity(t *testing.T) {
+	clock := fastClock()
+	c := New(Config{Name: "y", TotalCores: 8, AllocDelay: dist.Constant(0.001), Clock: clock})
+	defer c.Shutdown()
+	first, _ := c.RequestContainers(context.Background(), 2, 4)
+
+	done := make(chan []*Container)
+	go func() {
+		cs, err := c.RequestContainers(context.Background(), 1, 8)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- cs
+	}()
+	select {
+	case <-done:
+		t.Fatal("second request should block while capacity is held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Release(first)
+	select {
+	case cs := <-done:
+		c.Release(cs)
+	case <-time.After(2 * time.Second):
+		t.Fatal("second request never unblocked")
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	c := New(Config{Name: "y", TotalCores: 8, Clock: fastClock()})
+	defer c.Shutdown()
+	if _, err := c.RequestContainers(context.Background(), 3, 4); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestBadRequestRejected(t *testing.T) {
+	c := New(Config{Name: "y", TotalCores: 8, Clock: fastClock()})
+	defer c.Shutdown()
+	if _, err := c.RequestContainers(context.Background(), 0, 4); err == nil {
+		t.Fatal("zero containers accepted")
+	}
+	if _, err := c.RequestContainers(context.Background(), 1, 0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestContextCancelWhileWaiting(t *testing.T) {
+	clock := fastClock()
+	c := New(Config{Name: "y", TotalCores: 4, AllocDelay: dist.Constant(0.001), Clock: clock})
+	defer c.Shutdown()
+	held, _ := c.RequestContainers(context.Background(), 1, 4)
+	defer c.Release(held)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error)
+	go func() {
+		_, err := c.RequestContainers(ctx, 1, 4)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestConcurrentRequestsNeverOversubscribe(t *testing.T) {
+	clock := fastClock()
+	c := New(Config{Name: "y", TotalCores: 16, AllocDelay: dist.Constant(0.001), Clock: clock})
+	defer c.Shutdown()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	inUse, peak := 0, 0
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cs, err := c.RequestContainers(context.Background(), 1, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			inUse += 4
+			if inUse > peak {
+				peak = inUse
+			}
+			mu.Unlock()
+			clock.Sleep(context.Background(), time.Second)
+			mu.Lock()
+			inUse -= 4
+			mu.Unlock()
+			c.Release(cs)
+		}()
+	}
+	wg.Wait()
+	if peak > 16 {
+		t.Fatalf("peak cores in use = %d, exceeds capacity 16", peak)
+	}
+	if c.FreeCores() != 16 {
+		t.Fatalf("FreeCores = %d, want 16", c.FreeCores())
+	}
+}
+
+func TestAllocationAggregates(t *testing.T) {
+	c := New(Config{Name: "y", TotalCores: 16, AllocDelay: dist.Constant(0.001), Clock: fastClock()})
+	defer c.Shutdown()
+	cs, _ := c.RequestContainers(context.Background(), 2, 4)
+	defer c.Release(cs)
+	a := c.Allocation("app1", cs)
+	if a.Cores != 8 || len(a.Nodes) != 2 {
+		t.Fatalf("alloc = %+v, want 8 cores 2 nodes", a)
+	}
+}
+
+func TestShutdownUnblocksWaiters(t *testing.T) {
+	clock := fastClock()
+	c := New(Config{Name: "y", TotalCores: 4, AllocDelay: dist.Constant(0.001), Clock: clock})
+	held, _ := c.RequestContainers(context.Background(), 1, 4)
+	_ = held
+	errCh := make(chan error)
+	go func() {
+		_, err := c.RequestContainers(context.Background(), 1, 4)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Shutdown()
+	if err := <-errCh; !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,354 @@
+// Package mapreduce implements Pilot-MapReduce [54]: a MapReduce engine
+// whose map and reduce tasks are pilot compute-units, with intermediate
+// data shuffled through Pilot-Data. This realizes the paper's Table I
+// "Data-Parallel/MapReduce" and "Dataflow" scenarios on the pilot
+// abstraction — including cross-site shuffles whose transfer costs the
+// data layer models.
+package mapreduce
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gopilot/internal/core"
+)
+
+// KeyValue is one record of MapReduce intermediate or output data.
+type KeyValue struct {
+	Key   string
+	Value string
+}
+
+// Mapper consumes one input record (key = record id, value = content) and
+// emits intermediate pairs.
+type Mapper func(ctx context.Context, key, value string, emit func(k, v string)) error
+
+// Reducer consumes one key with all its values and emits output pairs.
+// The same signature serves as Combiner.
+type Reducer func(ctx context.Context, key string, values []string, emit func(k, v string)) error
+
+// Config describes a MapReduce job.
+type Config struct {
+	// Name prefixes intermediate/output data-unit IDs.
+	Name string
+	// InputIDs names existing data-units, one per map task (the splits).
+	InputIDs []string
+	// Reducers is the reduce-task count R (default 1).
+	Reducers int
+	// Map and Reduce are the user functions; Combine optionally pre-
+	// aggregates map-side (classic wordcount optimization).
+	Map     Mapper
+	Reduce  Reducer
+	Combine Reducer
+	// CoresPerTask sizes each map/reduce unit (default 1).
+	CoresPerTask int
+	// MaxRetries is the per-unit retry budget.
+	MaxRetries int
+	// MapCost and ReduceCost add modeled compute per task, letting
+	// benchmarks represent production-sized inputs whose processing time
+	// dwarfs the (small) in-process sample data.
+	MapCost, ReduceCost time.Duration
+}
+
+// Result reports a completed job.
+type Result struct {
+	// OutputIDs names the per-reducer output data-units.
+	OutputIDs []string
+	// Elapsed is the modeled end-to-end runtime.
+	Elapsed time.Duration
+	// MapElapsed is the modeled duration of the map phase.
+	MapElapsed time.Duration
+	// ReduceElapsed is the modeled duration of the shuffle+reduce phase.
+	ReduceElapsed time.Duration
+	// MapTasks and ReduceTasks count the units executed.
+	MapTasks, ReduceTasks int
+}
+
+// Run executes the job on mgr's pilots and blocks until completion. The
+// manager must have a data service configured.
+func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
+	if mgr.Data() == nil {
+		return nil, errors.New("mapreduce: manager has no data service")
+	}
+	if cfg.Map == nil || cfg.Reduce == nil {
+		return nil, errors.New("mapreduce: Map and Reduce are required")
+	}
+	if len(cfg.InputIDs) == 0 {
+		return nil, errors.New("mapreduce: no input splits")
+	}
+	if cfg.Reducers <= 0 {
+		cfg.Reducers = 1
+	}
+	if cfg.CoresPerTask <= 0 {
+		cfg.CoresPerTask = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = "mrjob"
+	}
+	clock := mgr.Clock()
+	start := clock.Now()
+
+	// ------------------------------ map phase ------------------------------
+	mapUnits := make([]*core.ComputeUnit, 0, len(cfg.InputIDs))
+	for i, in := range cfg.InputIDs {
+		i, in := i, in
+		u, err := mgr.SubmitUnit(core.UnitDescription{
+			Name:       fmt.Sprintf("%s.map%d", cfg.Name, i),
+			Cores:      cfg.CoresPerTask,
+			InputData:  []string{in},
+			MaxRetries: cfg.MaxRetries,
+			Run: func(ctx context.Context, tc core.TaskContext) error {
+				return runMapTask(ctx, tc, cfg, i, in)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		mapUnits = append(mapUnits, u)
+	}
+	for _, u := range mapUnits {
+		if s, err := u.Wait(ctx); s != core.UnitDone {
+			return nil, fmt.Errorf("mapreduce: map unit %s %v: %w", u.ID(), s, err)
+		}
+	}
+	mapDone := clock.Now()
+
+	// --------------------------- reduce phase ------------------------------
+	reduceUnits := make([]*core.ComputeUnit, 0, cfg.Reducers)
+	outputIDs := make([]string, cfg.Reducers)
+	for r := 0; r < cfg.Reducers; r++ {
+		r := r
+		// Every reducer depends on its partition from every map task.
+		inputs := make([]string, len(cfg.InputIDs))
+		for m := range cfg.InputIDs {
+			inputs[m] = partitionID(cfg.Name, m, r)
+		}
+		outputIDs[r] = fmt.Sprintf("%s.out%d", cfg.Name, r)
+		u, err := mgr.SubmitUnit(core.UnitDescription{
+			Name:       fmt.Sprintf("%s.reduce%d", cfg.Name, r),
+			Cores:      cfg.CoresPerTask,
+			InputData:  inputs,
+			MaxRetries: cfg.MaxRetries,
+			Run: func(ctx context.Context, tc core.TaskContext) error {
+				return runReduceTask(ctx, tc, cfg, r, inputs, outputIDs[r])
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		reduceUnits = append(reduceUnits, u)
+	}
+	for _, u := range reduceUnits {
+		if s, err := u.Wait(ctx); s != core.UnitDone {
+			return nil, fmt.Errorf("mapreduce: reduce unit %s %v: %w", u.ID(), s, err)
+		}
+	}
+	end := clock.Now()
+
+	return &Result{
+		OutputIDs:     outputIDs,
+		Elapsed:       end.Sub(start),
+		MapElapsed:    mapDone.Sub(start),
+		ReduceElapsed: end.Sub(mapDone),
+		MapTasks:      len(cfg.InputIDs),
+		ReduceTasks:   cfg.Reducers,
+	}, nil
+}
+
+// runMapTask reads a split, applies the mapper, optionally combines, and
+// writes R partition files at the task's site.
+func runMapTask(ctx context.Context, tc core.TaskContext, cfg Config, mapIdx int, inputID string) error {
+	content, err := tc.Data.Read(ctx, inputID, tc.Site)
+	if err != nil {
+		return fmt.Errorf("read split: %w", err)
+	}
+	parts := make([][]KeyValue, cfg.Reducers)
+	emit := func(k, v string) {
+		r := partitionOf(k, cfg.Reducers)
+		parts[r] = append(parts[r], KeyValue{k, v})
+	}
+	if err := cfg.Map(ctx, inputID, string(content), emit); err != nil {
+		return fmt.Errorf("map: %w", err)
+	}
+	if cfg.MapCost > 0 && !tc.Sleep(ctx, cfg.MapCost) {
+		return ctx.Err()
+	}
+	for r := range parts {
+		kvs := parts[r]
+		if cfg.Combine != nil {
+			if kvs, err = combine(ctx, cfg.Combine, kvs); err != nil {
+				return fmt.Errorf("combine: %w", err)
+			}
+		}
+		if err := tc.Data.Write(ctx, partitionID(cfg.Name, mapIdx, r), Encode(kvs), tc.Site); err != nil {
+			return fmt.Errorf("write partition: %w", err)
+		}
+	}
+	return nil
+}
+
+// runReduceTask fetches its partition from every map output (the shuffle),
+// groups by key, reduces, and writes one output data-unit.
+func runReduceTask(ctx context.Context, tc core.TaskContext, cfg Config, r int, inputs []string, outID string) error {
+	var all []KeyValue
+	for _, id := range inputs {
+		content, err := tc.Data.Read(ctx, id, tc.Site)
+		if err != nil {
+			return fmt.Errorf("shuffle read %s: %w", id, err)
+		}
+		kvs, err := Decode(content)
+		if err != nil {
+			return fmt.Errorf("decode %s: %w", id, err)
+		}
+		all = append(all, kvs...)
+	}
+	grouped := Group(all)
+	var out []KeyValue
+	emit := func(k, v string) { out = append(out, KeyValue{k, v}) }
+	keys := make([]string, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := cfg.Reduce(ctx, k, grouped[k], emit); err != nil {
+			return fmt.Errorf("reduce key %q: %w", k, err)
+		}
+	}
+	if cfg.ReduceCost > 0 && !tc.Sleep(ctx, cfg.ReduceCost) {
+		return ctx.Err()
+	}
+	return tc.Data.Write(ctx, outID, Encode(out), tc.Site)
+}
+
+// combine groups and pre-reduces a map task's local output.
+func combine(ctx context.Context, c Reducer, kvs []KeyValue) ([]KeyValue, error) {
+	grouped := Group(kvs)
+	keys := make([]string, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []KeyValue
+	emit := func(k, v string) { out = append(out, KeyValue{k, v}) }
+	for _, k := range keys {
+		if err := c(ctx, k, grouped[k], emit); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Group collects values per key preserving per-key insertion order.
+func Group(kvs []KeyValue) map[string][]string {
+	out := make(map[string][]string)
+	for _, kv := range kvs {
+		out[kv.Key] = append(out[kv.Key], kv.Value)
+	}
+	return out
+}
+
+// partitionOf hashes a key onto one of r partitions.
+func partitionOf(key string, r int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(r))
+}
+
+func partitionID(job string, m, r int) string {
+	return fmt.Sprintf("%s.m%d.p%d", job, m, r)
+}
+
+// Encode serializes pairs as quoted tab-separated lines, safe for any byte
+// content.
+func Encode(kvs []KeyValue) []byte {
+	var b strings.Builder
+	for _, kv := range kvs {
+		b.WriteString(strconv.Quote(kv.Key))
+		b.WriteByte('\t')
+		b.WriteString(strconv.Quote(kv.Value))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Decode parses the Encode format.
+func Decode(content []byte) ([]KeyValue, error) {
+	var out []KeyValue
+	sc := bufio.NewScanner(strings.NewReader(string(content)))
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		tab := strings.IndexByte(line, '\t')
+		if tab < 0 {
+			return nil, fmt.Errorf("mapreduce: malformed line %q", line)
+		}
+		k, err := strconv.Unquote(line[:tab])
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: bad key in %q: %w", line, err)
+		}
+		v, err := strconv.Unquote(line[tab+1:])
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: bad value in %q: %w", line, err)
+		}
+		out = append(out, KeyValue{k, v})
+	}
+	return out, sc.Err()
+}
+
+// Collect fetches and decodes all job outputs into one sorted slice.
+func Collect(ctx context.Context, mgr *core.Manager, res *Result) ([]KeyValue, error) {
+	var mu sync.Mutex
+	var all []KeyValue
+	var wg sync.WaitGroup
+	errs := make([]error, len(res.OutputIDs))
+	for i, id := range res.OutputIDs {
+		i, id := i, id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sites, ok := mgr.Data().Locate(id)
+			if !ok || len(sites) == 0 {
+				errs[i] = fmt.Errorf("mapreduce: output %s not found", id)
+				return
+			}
+			content, err := mgr.Data().Read(ctx, id, sites[0])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			kvs, err := Decode(content)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			all = append(all, kvs...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Key != all[j].Key {
+			return all[i].Key < all[j].Key
+		}
+		return all[i].Value < all[j].Value
+	})
+	return all, nil
+}

@@ -1,0 +1,607 @@
+package saga
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"gopilot/internal/infra"
+	"gopilot/internal/infra/cloud"
+	"gopilot/internal/infra/hpc"
+	"gopilot/internal/infra/htc"
+	"gopilot/internal/infra/yarn"
+	"gopilot/internal/vclock"
+)
+
+// ---------------------------------------------------------------------------
+// Local (fork) adaptor
+// ---------------------------------------------------------------------------
+
+// LocalService runs jobs immediately in-process — the SAGA "fork" adaptor.
+// It is the zero-latency reference backend used in unit tests and as the
+// lower bound in overhead experiments.
+type LocalService struct {
+	name  string
+	cores int
+	clock vclock.Clock
+
+	mu     sync.Mutex
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewLocalService creates a local service with the given core capacity
+// (capacity is advisory; local jobs are never queued).
+func NewLocalService(name string, cores int, clock vclock.Clock) *LocalService {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	if name == "" {
+		name = "localhost"
+	}
+	if cores <= 0 {
+		cores = 8
+	}
+	return &LocalService{name: name, cores: cores, clock: clock}
+}
+
+// URL implements Service.
+func (s *LocalService) URL() string { return "local://" + s.name }
+
+// Site implements Service.
+func (s *LocalService) Site() infra.Site { return infra.Site(s.name) }
+
+// TotalCores implements Service.
+func (s *LocalService) TotalCores() int { return s.cores }
+
+// Submit implements Service.
+func (s *LocalService) Submit(d Description) (Job, error) {
+	if d.Payload == nil {
+		return nil, errors.New("saga: description has nil payload")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("saga: service %s closed", s.URL())
+	}
+	s.nextID++
+	id := fmt.Sprintf("local.%s.%d", s.name, s.nextID)
+	s.mu.Unlock()
+
+	now := s.clock.Now()
+	j := newBaseJob(id, now)
+	ctx, cancel := context.WithCancel(context.Background())
+	j.setCancel(cancel)
+
+	cores := d.TotalCores
+	if cores <= 0 {
+		cores = 1
+	}
+	alloc := infra.Allocation{
+		ID:      id,
+		Site:    s.Site(),
+		Cores:   cores,
+		Nodes:   []string{s.name},
+		Granted: now,
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		j.markRunning(s.clock.Now())
+		if d.Walltime > 0 {
+			var tctx context.Context
+			tctx, tcancel := context.WithCancel(ctx)
+			go func() {
+				if s.clock.Sleep(tctx, d.Walltime) {
+					cancel()
+				}
+			}()
+			defer tcancel()
+		}
+		err := d.Payload(ctx, alloc)
+		end := s.clock.Now()
+		switch {
+		case ctx.Err() != nil:
+			j.finish(Canceled, ctx.Err(), end)
+		case err != nil:
+			j.finish(Failed, err, end)
+		default:
+			j.finish(Done, nil, end)
+		}
+	}()
+	return j, nil
+}
+
+// Close implements Service.
+func (s *LocalService) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// HPC adaptor
+// ---------------------------------------------------------------------------
+
+// HPCService adapts a simulated batch cluster to the SAGA interface.
+// TotalCores are rounded up to whole nodes, as real batch systems do.
+type HPCService struct {
+	cluster *hpc.Cluster
+	clock   vclock.Clock
+}
+
+// NewHPCService wraps an hpc.Cluster.
+func NewHPCService(c *hpc.Cluster, clock vclock.Clock) *HPCService {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	return &HPCService{cluster: c, clock: clock}
+}
+
+// URL implements Service.
+func (s *HPCService) URL() string { return "hpc://" + s.cluster.Name() }
+
+// Site implements Service.
+func (s *HPCService) Site() infra.Site { return s.cluster.Site() }
+
+// TotalCores implements Service.
+func (s *HPCService) TotalCores() int { return s.cluster.TotalCores() }
+
+// Cluster exposes the underlying simulator for experiment inspection.
+func (s *HPCService) Cluster() *hpc.Cluster { return s.cluster }
+
+// Submit implements Service.
+func (s *HPCService) Submit(d Description) (Job, error) {
+	if d.Payload == nil {
+		return nil, errors.New("saga: description has nil payload")
+	}
+	cores := d.TotalCores
+	if cores <= 0 {
+		cores = 1
+	}
+	cpn := s.cluster.CoresPerNode()
+	nodes := (cores + cpn - 1) / cpn
+
+	now := s.clock.Now()
+	j := newBaseJob("", now)
+
+	bj, err := s.cluster.Submit(hpc.JobSpec{
+		Name:     d.Name,
+		Nodes:    nodes,
+		Walltime: d.Walltime,
+		Payload: func(ctx context.Context, alloc infra.Allocation) error {
+			j.markRunning(s.clock.Now())
+			return d.Payload(ctx, alloc)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	j.id = bj.ID()
+	j.setCancel(func() { s.cluster.Cancel(bj) })
+	go func() {
+		<-bj.Done()
+		end := s.clock.Now()
+		switch bj.State() {
+		case hpc.Completed:
+			j.finish(Done, nil, end)
+		case hpc.TimedOut:
+			j.finish(Failed, fmt.Errorf("saga: job %s hit walltime: %w", bj.ID(), bj.Err()), end)
+		case hpc.Canceled:
+			j.finish(Canceled, bj.Err(), end)
+		default:
+			j.finish(Failed, bj.Err(), end)
+		}
+	}()
+	return j, nil
+}
+
+// Close implements Service.
+func (s *HPCService) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// HTC adaptor (glidein-style multi-slot coalescence)
+// ---------------------------------------------------------------------------
+
+// HTCService adapts a simulated HTC pool. A job requesting k cores is
+// realized as k single-slot "glidein" jobs; the payload starts once all
+// slots have been matched (condor-glidein-style coalescence) and is
+// canceled if a member slot is evicted without retry budget.
+type HTCService struct {
+	pool  *htc.Pool
+	clock vclock.Clock
+
+	mu     sync.Mutex
+	nextID int
+}
+
+// NewHTCService wraps an htc.Pool.
+func NewHTCService(p *htc.Pool, clock vclock.Clock) *HTCService {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	return &HTCService{pool: p, clock: clock}
+}
+
+// URL implements Service.
+func (s *HTCService) URL() string { return "htc://" + s.pool.Name() }
+
+// Site implements Service.
+func (s *HTCService) Site() infra.Site { return s.pool.Site() }
+
+// TotalCores implements Service.
+func (s *HTCService) TotalCores() int { return s.pool.Slots() }
+
+// Pool exposes the underlying simulator.
+func (s *HTCService) Pool() *htc.Pool { return s.pool }
+
+// Submit implements Service.
+func (s *HTCService) Submit(d Description) (Job, error) {
+	if d.Payload == nil {
+		return nil, errors.New("saga: description has nil payload")
+	}
+	slots := d.TotalCores
+	if slots <= 0 {
+		slots = 1
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("htc.%s.%d", s.pool.Name(), s.nextID)
+	s.mu.Unlock()
+
+	now := s.clock.Now()
+	j := newBaseJob(id, now)
+	ctx, cancel := context.WithCancel(context.Background())
+	j.setCancel(cancel)
+
+	var (
+		arrivals = make(chan string, slots)
+		release  = make(chan struct{})
+		lost     = make(chan error, slots)
+		glideins = make([]*htc.Job, 0, slots)
+	)
+	// Submit one glidein per requested slot.
+	for i := 0; i < slots; i++ {
+		gj, err := s.pool.Submit(htc.JobSpec{
+			Name:    fmt.Sprintf("%s.glidein%d", d.Name, i),
+			Runtime: d.Walltime,
+			Payload: func(gctx context.Context, alloc infra.Allocation) error {
+				select {
+				case arrivals <- alloc.Nodes[0]:
+				case <-gctx.Done():
+					return gctx.Err()
+				}
+				// Hold the slot until the aggregate payload completes.
+				select {
+				case <-release:
+					return nil
+				case <-gctx.Done():
+					select {
+					case lost <- gctx.Err():
+					default:
+					}
+					return gctx.Err()
+				}
+			},
+		})
+		if err != nil {
+			cancel()
+			close(release)
+			for _, g := range glideins {
+				s.pool.Cancel(g)
+			}
+			return nil, err
+		}
+		glideins = append(glideins, gj)
+	}
+
+	go func() {
+		defer cancel()
+		nodes := make([]string, 0, slots)
+		for len(nodes) < slots {
+			select {
+			case n := <-arrivals:
+				nodes = append(nodes, n)
+			case err := <-lost:
+				// A glidein died before coalescence with no retry left.
+				close(release)
+				j.finish(Failed, fmt.Errorf("saga: glidein lost before start: %w", err), s.clock.Now())
+				return
+			case <-ctx.Done():
+				close(release)
+				j.finish(Canceled, ctx.Err(), s.clock.Now())
+				return
+			}
+		}
+		start := s.clock.Now()
+		j.markRunning(start)
+		alloc := infra.Allocation{
+			ID:      id,
+			Site:    s.Site(),
+			Cores:   slots,
+			Nodes:   nodes,
+			Granted: start,
+		}
+		// Cancel the payload if any held slot is evicted mid-run.
+		pctx, pcancel := context.WithCancel(ctx)
+		var evictErr error
+		var once sync.Once
+		go func() {
+			select {
+			case err := <-lost:
+				once.Do(func() { evictErr = err })
+				pcancel()
+			case <-pctx.Done():
+			}
+		}()
+		err := d.Payload(pctx, alloc)
+		pcancel()
+		close(release)
+		end := s.clock.Now()
+		switch {
+		case evictErr != nil:
+			j.finish(Failed, fmt.Errorf("saga: slot evicted mid-run: %w", evictErr), end)
+		case ctx.Err() != nil:
+			j.finish(Canceled, ctx.Err(), end)
+		case err != nil:
+			j.finish(Failed, err, end)
+		default:
+			j.finish(Done, nil, end)
+		}
+	}()
+	return j, nil
+}
+
+// Close implements Service.
+func (s *HTCService) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Cloud adaptor
+// ---------------------------------------------------------------------------
+
+// CloudService adapts a simulated IaaS provider: a job provisions enough
+// VMs to cover TotalCores, runs, and terminates them.
+type CloudService struct {
+	provider *cloud.Provider
+	clock    vclock.Clock
+
+	mu     sync.Mutex
+	nextID int
+}
+
+// NewCloudService wraps a cloud.Provider.
+func NewCloudService(p *cloud.Provider, clock vclock.Clock) *CloudService {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	return &CloudService{provider: p, clock: clock}
+}
+
+// URL implements Service.
+func (s *CloudService) URL() string { return "cloud://" + s.provider.Name() }
+
+// Site implements Service.
+func (s *CloudService) Site() infra.Site { return s.provider.Site() }
+
+// TotalCores implements Service (0: clouds are elastically unbounded).
+func (s *CloudService) TotalCores() int { return 0 }
+
+// Provider exposes the underlying simulator.
+func (s *CloudService) Provider() *cloud.Provider { return s.provider }
+
+// Submit implements Service. The attribute "vm_type" selects the instance
+// type.
+func (s *CloudService) Submit(d Description) (Job, error) {
+	if d.Payload == nil {
+		return nil, errors.New("saga: description has nil payload")
+	}
+	cores := d.TotalCores
+	if cores <= 0 {
+		cores = 1
+	}
+	vt := s.provider.DefaultType()
+	if name := d.Attributes["vm_type"]; name != "" {
+		var err error
+		if vt, err = s.provider.TypeByName(name); err != nil {
+			return nil, err
+		}
+	}
+	n := (cores + vt.Cores - 1) / vt.Cores
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("cloud.%s.%d", s.provider.Name(), s.nextID)
+	s.mu.Unlock()
+
+	now := s.clock.Now()
+	j := newBaseJob(id, now)
+	ctx, cancel := context.WithCancel(context.Background())
+	j.setCancel(cancel)
+
+	go func() {
+		defer cancel()
+		vms, err := s.provider.Provision(ctx, n, vt.Name)
+		if err != nil {
+			j.finish(Failed, fmt.Errorf("saga: provisioning failed: %w", err), s.clock.Now())
+			return
+		}
+		defer s.provider.Terminate(vms)
+		start := s.clock.Now()
+		j.markRunning(start)
+		if d.Walltime > 0 {
+			wctx, wcancel := context.WithCancel(ctx)
+			go func() {
+				if s.clock.Sleep(wctx, d.Walltime) {
+					cancel()
+				}
+			}()
+			defer wcancel()
+		}
+		err = d.Payload(ctx, s.provider.Allocation(id, vms))
+		end := s.clock.Now()
+		switch {
+		case ctx.Err() != nil:
+			j.finish(Canceled, ctx.Err(), end)
+		case err != nil:
+			j.finish(Failed, err, end)
+		default:
+			j.finish(Done, nil, end)
+		}
+	}()
+	return j, nil
+}
+
+// Close implements Service.
+func (s *CloudService) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// YARN adaptor
+// ---------------------------------------------------------------------------
+
+// YarnService adapts a simulated YARN cluster: a job negotiates containers
+// covering TotalCores and releases them afterwards.
+type YarnService struct {
+	cluster     *yarn.Cluster
+	clock       vclock.Clock
+	coresPerCtr int
+
+	mu     sync.Mutex
+	nextID int
+}
+
+// NewYarnService wraps a yarn.Cluster. coresPerContainer controls container
+// granularity (default 4).
+func NewYarnService(c *yarn.Cluster, coresPerContainer int, clock vclock.Clock) *YarnService {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	if coresPerContainer <= 0 {
+		coresPerContainer = 4
+	}
+	return &YarnService{cluster: c, clock: clock, coresPerCtr: coresPerContainer}
+}
+
+// URL implements Service.
+func (s *YarnService) URL() string { return "yarn://" + s.cluster.Name() }
+
+// Site implements Service.
+func (s *YarnService) Site() infra.Site { return s.cluster.Site() }
+
+// TotalCores implements Service.
+func (s *YarnService) TotalCores() int { return s.cluster.TotalCores() }
+
+// Cluster exposes the underlying simulator.
+func (s *YarnService) Cluster() *yarn.Cluster { return s.cluster }
+
+// Submit implements Service.
+func (s *YarnService) Submit(d Description) (Job, error) {
+	if d.Payload == nil {
+		return nil, errors.New("saga: description has nil payload")
+	}
+	cores := d.TotalCores
+	if cores <= 0 {
+		cores = 1
+	}
+	per := s.coresPerCtr
+	if cores < per {
+		per = cores
+	}
+	n := (cores + per - 1) / per
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("yarn.%s.%d", s.cluster.Name(), s.nextID)
+	s.mu.Unlock()
+
+	now := s.clock.Now()
+	j := newBaseJob(id, now)
+	ctx, cancel := context.WithCancel(context.Background())
+	j.setCancel(cancel)
+
+	go func() {
+		defer cancel()
+		containers, err := s.cluster.RequestContainers(ctx, n, per)
+		if err != nil {
+			j.finish(Failed, fmt.Errorf("saga: container negotiation failed: %w", err), s.clock.Now())
+			return
+		}
+		defer s.cluster.Release(containers)
+		start := s.clock.Now()
+		j.markRunning(start)
+		err = d.Payload(ctx, s.cluster.Allocation(id, containers))
+		end := s.clock.Now()
+		switch {
+		case ctx.Err() != nil:
+			j.finish(Canceled, ctx.Err(), end)
+		case err != nil:
+			j.finish(Failed, err, end)
+		default:
+			j.finish(Done, nil, end)
+		}
+	}()
+	return j, nil
+}
+
+// Close implements Service.
+func (s *YarnService) Close() error { return nil }
+
+var (
+	_ Service = (*LocalService)(nil)
+	_ Service = (*HPCService)(nil)
+	_ Service = (*HTCService)(nil)
+	_ Service = (*CloudService)(nil)
+	_ Service = (*YarnService)(nil)
+)
+
+// Registry resolves resource URLs ("hpc://stampede") to services, letting
+// pilot descriptions name resources symbolically, as the Pilot-API does.
+type Registry struct {
+	mu       sync.Mutex
+	services map[string]Service
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{services: make(map[string]Service)} }
+
+// Register adds a service under its URL.
+func (r *Registry) Register(s Service) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.services[s.URL()] = s
+}
+
+// Lookup resolves a URL.
+func (r *Registry) Lookup(url string) (Service, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.services[url]
+	if !ok {
+		return nil, fmt.Errorf("saga: no service registered for %q", url)
+	}
+	return s, nil
+}
+
+// URLs lists registered service URLs.
+func (r *Registry) URLs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.services))
+	for u := range r.services {
+		out = append(out, u)
+	}
+	return out
+}
+
+// CloseAll closes every registered service.
+func (r *Registry) CloseAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.services {
+		s.Close()
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(3*time.Second, func(*Engine) { order = append(order, 3) })
+	e.After(1*time.Second, func(*Engine) { order = append(order, 1) })
+	e.After(2*time.Second, func(*Engine) { order = append(order, 2) })
+	end := e.Run()
+	if end != 3*time.Second {
+		t.Fatalf("end = %v, want 3s", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestChainedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func(*Engine)
+	tick = func(en *Engine) {
+		count++
+		if count < 5 {
+			en.After(time.Second, tick)
+		}
+	}
+	e.After(time.Second, tick)
+	end := e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if end != 5*time.Second {
+		t.Fatalf("end = %v, want 5s", end)
+	}
+	if e.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5", e.Processed())
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.After(time.Second, func(*Engine) { fired++ })
+	e.After(10*time.Second, func(*Engine) { fired++ })
+	e.RunUntil(5 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 after Run", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10*time.Second, func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		en.At(time.Second, func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-time.Second, func(*Engine) { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("negative After did not run")
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// and the engine ends at the max delay.
+func TestOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		var maxD time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Millisecond
+			if d > maxD {
+				maxD = d
+			}
+			e.At(d, func(en *Engine) { fired = append(fired, en.Now()) })
+		}
+		end := e.Run()
+		if len(delays) > 0 && end != maxD {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

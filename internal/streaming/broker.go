@@ -1,0 +1,316 @@
+// Package streaming implements Pilot-Streaming [32]: a partitioned-log
+// message broker (Kafka-class semantics: topics, partitions, offsets,
+// per-partition ordering) plus pilot-managed stream processors. The broker
+// models per-partition append capacity as a queueing process in virtual
+// time, so the throughput-vs-partitions and latency-vs-load shapes of the
+// paper's streaming evaluation (E7/E8) emerge from first principles.
+package streaming
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"gopilot/internal/vclock"
+)
+
+// Message is one record in a partitioned log.
+type Message struct {
+	Topic     string
+	Partition int
+	Offset    int64
+	Key       []byte
+	Value     []byte
+	// Published is the modeled time the producer handed the message to the
+	// broker (before broker-side queueing), so end-to-end latency includes
+	// broker delay.
+	Published time.Time
+}
+
+// BrokerConfig configures a Broker.
+type BrokerConfig struct {
+	// Name labels the broker.
+	Name string
+	// AppendCost is the modeled broker-side cost per message appended to a
+	// partition; it bounds per-partition throughput at 1/AppendCost msg/s.
+	// Default 100µs (≈10k msg/s per partition).
+	AppendCost time.Duration
+	// FetchLatency is the modeled cost per consumer fetch (long-poll RTT).
+	// Default 1ms.
+	FetchLatency time.Duration
+	// Clock supplies virtual time; defaults to vclock.Real.
+	Clock vclock.Clock
+}
+
+// Broker is an in-process partitioned-log message broker.
+type Broker struct {
+	cfg BrokerConfig
+
+	mu     sync.Mutex
+	topics map[string]*topic
+	closed bool
+}
+
+type topic struct {
+	name       string
+	partitions []*partition
+	rr         int // round-robin cursor for key-less publishes
+}
+
+type partition struct {
+	mu       sync.Mutex
+	msgs     []Message
+	nextFree time.Time // modeled time the partition finishes current appends
+	waiters  []chan struct{}
+}
+
+// ErrUnknownTopic is returned for operations on absent topics.
+var ErrUnknownTopic = errors.New("streaming: unknown topic")
+
+// ErrBrokerClosed is returned after Close.
+var ErrBrokerClosed = errors.New("streaming: broker closed")
+
+// NewBroker creates a broker.
+func NewBroker(cfg BrokerConfig) *Broker {
+	if cfg.Name == "" {
+		cfg.Name = "broker"
+	}
+	if cfg.AppendCost <= 0 {
+		cfg.AppendCost = 100 * time.Microsecond
+	}
+	if cfg.FetchLatency <= 0 {
+		cfg.FetchLatency = time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewReal()
+	}
+	return &Broker{cfg: cfg, topics: make(map[string]*topic)}
+}
+
+// Clock returns the broker's clock.
+func (b *Broker) Clock() vclock.Clock { return b.cfg.Clock }
+
+// CreateTopic creates a topic with n partitions. Creating an existing
+// topic with the same partition count is a no-op.
+func (b *Broker) CreateTopic(name string, partitions int) error {
+	if partitions <= 0 {
+		return fmt.Errorf("streaming: topic %q needs at least one partition", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBrokerClosed
+	}
+	if t, ok := b.topics[name]; ok {
+		if len(t.partitions) != partitions {
+			return fmt.Errorf("streaming: topic %q exists with %d partitions", name, len(t.partitions))
+		}
+		return nil
+	}
+	t := &topic{name: name, partitions: make([]*partition, partitions)}
+	for i := range t.partitions {
+		t.partitions[i] = &partition{}
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// Partitions returns the partition count of a topic.
+func (b *Broker) Partitions(name string) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownTopic, name)
+	}
+	return len(t.partitions), nil
+}
+
+func (b *Broker) topicByName(name string) (*topic, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrBrokerClosed
+	}
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTopic, name)
+	}
+	return t, nil
+}
+
+// Publish appends one message, selecting the partition by key hash (or
+// round-robin for empty keys). It blocks, in modeled time, while the
+// partition works through its backlog — per-partition capacity is the
+// broker's bottleneck resource.
+func (b *Broker) Publish(ctx context.Context, topicName string, key, value []byte) (Message, error) {
+	msgs, err := b.PublishBatch(ctx, topicName, [][2][]byte{{key, value}})
+	if err != nil {
+		return Message{}, err
+	}
+	return msgs[0], nil
+}
+
+// PublishBatch appends a batch of (key, value) pairs, charging the
+// modeled append cost once per message but sleeping once per partition
+// batch — the batching real producers use to amortize overhead.
+func (b *Broker) PublishBatch(ctx context.Context, topicName string, kvs [][2][]byte) ([]Message, error) {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return nil, err
+	}
+	now := b.cfg.Clock.Now()
+
+	// Group the batch per target partition.
+	byPart := make(map[int][][2][]byte)
+	b.mu.Lock()
+	for _, kv := range kvs {
+		var p int
+		if len(kv[0]) > 0 {
+			p = partitionOf(kv[0], len(t.partitions))
+		} else {
+			p = t.rr % len(t.partitions)
+			t.rr++
+		}
+		byPart[p] = append(byPart[p], kv)
+	}
+	b.mu.Unlock()
+
+	// Partitions absorb their sub-batches in parallel; the producer blocks
+	// until the slowest partition has caught up (one sleep, not one per
+	// partition).
+	out := make([]Message, 0, len(kvs))
+	var latest time.Time
+	for p, batch := range byPart {
+		part := t.partitions[p]
+		busy := time.Duration(len(batch)) * b.cfg.AppendCost
+
+		part.mu.Lock()
+		start := part.nextFree
+		if start.Before(now) {
+			start = now
+		}
+		finish := start.Add(busy)
+		part.nextFree = finish
+		if finish.After(latest) {
+			latest = finish
+		}
+		for _, kv := range batch {
+			m := Message{
+				Topic:     topicName,
+				Partition: p,
+				Offset:    int64(len(part.msgs)),
+				Key:       kv[0],
+				Value:     kv[1],
+				Published: now,
+			}
+			part.msgs = append(part.msgs, m)
+			out = append(out, m)
+		}
+		waiters := part.waiters
+		part.waiters = nil
+		part.mu.Unlock()
+		for _, w := range waiters {
+			close(w)
+		}
+	}
+	if wait := latest.Sub(now); wait > 0 {
+		if !b.cfg.Clock.Sleep(ctx, wait) {
+			return out, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// Fetch returns up to max messages from a partition starting at offset,
+// long-polling until at least one message is available, ctx is done, or
+// the broker closes. It charges the modeled fetch latency once per call.
+func (b *Broker) Fetch(ctx context.Context, topicName string, partitionIdx int, offset int64, max int) ([]Message, error) {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return nil, fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	}
+	if max <= 0 {
+		max = 512
+	}
+	if !b.cfg.Clock.Sleep(ctx, b.cfg.FetchLatency) {
+		return nil, ctx.Err()
+	}
+	part := t.partitions[partitionIdx]
+	for {
+		part.mu.Lock()
+		if int64(len(part.msgs)) > offset {
+			end := offset + int64(max)
+			if end > int64(len(part.msgs)) {
+				end = int64(len(part.msgs))
+			}
+			batch := append([]Message(nil), part.msgs[offset:end]...)
+			part.mu.Unlock()
+			return batch, nil
+		}
+		w := make(chan struct{})
+		part.waiters = append(part.waiters, w)
+		part.mu.Unlock()
+		select {
+		case <-w:
+			// Either new data arrived or the broker closed; a closed broker
+			// will never produce data, so surface that instead of spinning.
+			b.mu.Lock()
+			closed := b.closed
+			b.mu.Unlock()
+			if closed {
+				return nil, ErrBrokerClosed
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// EndOffset returns the next offset to be written on a partition.
+func (b *Broker) EndOffset(topicName string, partitionIdx int) (int64, error) {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return 0, fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	}
+	part := t.partitions[partitionIdx]
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	return int64(len(part.msgs)), nil
+}
+
+// Close rejects further operations and wakes blocked fetchers.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, t := range b.topics {
+		for _, p := range t.partitions {
+			p.mu.Lock()
+			ws := p.waiters
+			p.waiters = nil
+			p.mu.Unlock()
+			for _, w := range ws {
+				close(w)
+			}
+		}
+	}
+}
+
+func partitionOf(key []byte, n int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}

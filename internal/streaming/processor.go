@@ -1,0 +1,356 @@
+package streaming
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gopilot/internal/core"
+	"gopilot/internal/metrics"
+	"gopilot/internal/vclock"
+)
+
+// HandlerFunc processes one message; processing cost should be modeled by
+// sleeping through tc.Sleep inside the handler (or by real computation).
+type HandlerFunc func(ctx context.Context, tc core.TaskContext, msg Message) error
+
+// ProcessorConfig describes a pilot-managed stream processing deployment:
+// Pilot-Streaming's core operation of coupling a broker to processing
+// resources managed via the pilot-abstraction.
+type ProcessorConfig struct {
+	// Name labels the processor's compute units.
+	Name string
+	// Topic to consume.
+	Topic string
+	// Workers is the number of parallel consumer units; partitions are
+	// assigned round-robin across workers (Workers > partitions leaves the
+	// excess idle, as in Kafka consumer groups).
+	Workers int
+	// BatchSize bounds messages per fetch (default 256).
+	BatchSize int
+	// Handler processes each message.
+	Handler HandlerFunc
+	// CostPerMessage is the modeled processing cost per message, charged
+	// once per fetch batch (sleeping per message would be distorted by OS
+	// timer granularity under aggressive virtual-time compression, exactly
+	// as real consumers amortize per-record overhead across poll batches).
+	CostPerMessage time.Duration
+	// CoresPerWorker sizes each worker unit (default 1).
+	CoresPerWorker int
+}
+
+// Processor is a running set of consumer units with latency/throughput
+// accounting.
+type Processor struct {
+	cfg    ProcessorConfig
+	broker *Broker
+	mgr    *core.Manager
+
+	units []*core.ComputeUnit
+	stop  context.CancelFunc
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	processed int64
+	started   time.Time
+	stopped   time.Time
+	latencies *metrics.Series
+}
+
+// StartProcessor deploys the processing units onto mgr's pilots and starts
+// consuming. Stop (or ctx cancellation) terminates the workers.
+func StartProcessor(ctx context.Context, mgr *core.Manager, broker *Broker, cfg ProcessorConfig) (*Processor, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("streaming: processor needs a handler")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.CoresPerWorker <= 0 {
+		cfg.CoresPerWorker = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = "stream-proc"
+	}
+	nparts, err := broker.Partitions(cfg.Topic)
+	if err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	p := &Processor{
+		cfg:       cfg,
+		broker:    broker,
+		mgr:       mgr,
+		stop:      cancel,
+		started:   broker.Clock().Now(),
+		latencies: metrics.NewSeries("e2e_latency_s"),
+	}
+
+	// Static partition assignment: worker w owns partitions w, w+W, ...
+	for w := 0; w < cfg.Workers; w++ {
+		var parts []int
+		for q := w; q < nparts; q += cfg.Workers {
+			parts = append(parts, q)
+		}
+		u, err := mgr.SubmitUnit(core.UnitDescription{
+			Name:  fmt.Sprintf("%s[%d]", cfg.Name, w),
+			Cores: cfg.CoresPerWorker,
+			Run: func(_ context.Context, tc core.TaskContext) error {
+				return p.consume(runCtx, tc, parts)
+			},
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		p.units = append(p.units, u)
+	}
+	return p, nil
+}
+
+// consume is one worker's loop over its partition set.
+func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []int) error {
+	if len(parts) == 0 {
+		<-ctx.Done()
+		return nil
+	}
+	offsets := make([]int64, len(parts))
+	clock := p.broker.Clock()
+	pollRotor := 0
+	for {
+		progressed := false
+		for i, part := range parts {
+			if ctx.Err() != nil {
+				return nil
+			}
+			// Non-blocking check first so one empty partition does not
+			// stall the others: long-poll only when all were empty.
+			end, err := p.broker.EndOffset(p.cfg.Topic, part)
+			if err != nil {
+				if errors.Is(err, ErrBrokerClosed) {
+					return nil
+				}
+				return err
+			}
+			if end <= offsets[i] {
+				continue
+			}
+			batch, err := p.broker.Fetch(ctx, p.cfg.Topic, part, offsets[i], p.cfg.BatchSize)
+			if err != nil {
+				if errors.Is(err, ErrBrokerClosed) || errors.Is(err, context.Canceled) {
+					return nil
+				}
+				return err
+			}
+			if err := p.processBatch(ctx, tc, clock, batch); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return err
+			}
+			offsets[i] += int64(len(batch))
+			progressed = true
+		}
+		if !progressed {
+			// All partitions drained: long-poll one of them with a short
+			// wall-clock timeout so messages landing on the *other* owned
+			// partitions are picked up promptly on the next scan.
+			idx := pollRotor % len(parts)
+			pollRotor++
+			pollCtx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+			batch, err := p.broker.Fetch(pollCtx, p.cfg.Topic, parts[idx], offsets[idx], p.cfg.BatchSize)
+			cancel()
+			if err != nil {
+				if errors.Is(err, ErrBrokerClosed) || ctx.Err() != nil {
+					return nil
+				}
+				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+					continue
+				}
+				return err
+			}
+			if err := p.processBatch(ctx, tc, clock, batch); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return err
+			}
+			offsets[idx] += int64(len(batch))
+		}
+	}
+}
+
+// processBatch charges the batch's modeled processing cost, then runs the
+// handler (real computation) over each message and records its end-to-end
+// latency.
+func (p *Processor) processBatch(ctx context.Context, tc core.TaskContext, clock vclock.Clock, batch []Message) error {
+	if p.cfg.CostPerMessage > 0 {
+		cost := time.Duration(len(batch)) * p.cfg.CostPerMessage
+		if !clock.Sleep(ctx, cost) {
+			return ctx.Err()
+		}
+	}
+	for _, m := range batch {
+		if err := p.cfg.Handler(ctx, tc, m); err != nil {
+			return fmt.Errorf("streaming: handler on %s[%d]@%d: %w", m.Topic, m.Partition, m.Offset, err)
+		}
+		p.record(clock.Now().Sub(m.Published))
+	}
+	return nil
+}
+
+func (p *Processor) record(lat time.Duration) {
+	p.latencies.Add(lat.Seconds())
+	p.mu.Lock()
+	p.processed++
+	p.mu.Unlock()
+}
+
+// Processed returns the number of messages handled so far.
+func (p *Processor) Processed() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.processed
+}
+
+// WaitProcessed blocks until at least n messages were handled or ctx ends.
+func (p *Processor) WaitProcessed(ctx context.Context, n int64) error {
+	for {
+		if p.Processed() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Stop terminates the workers and waits for their units to finish.
+func (p *Processor) Stop() {
+	p.stop()
+	for _, u := range p.units {
+		<-u.Done()
+	}
+	p.mu.Lock()
+	p.stopped = p.broker.Clock().Now()
+	p.mu.Unlock()
+}
+
+// Throughput returns processed messages per modeled second between start
+// and Stop (or now while running).
+func (p *Processor) Throughput() float64 {
+	p.mu.Lock()
+	processed := p.processed
+	end := p.stopped
+	p.mu.Unlock()
+	if end.IsZero() {
+		end = p.broker.Clock().Now()
+	}
+	elapsed := end.Sub(p.started).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(processed) / elapsed
+}
+
+// LatencyStats summarizes end-to-end latency in seconds.
+func (p *Processor) LatencyStats() metrics.Summary { return p.latencies.Summary() }
+
+// Produce publishes n messages at a target rate (messages per modeled
+// second) in batches, returning the achieved rate. A rate <= 0 publishes
+// as fast as the broker admits (the saturation probe used by E7).
+func Produce(ctx context.Context, b *Broker, topic string, n int, rate float64, payload []byte) (float64, error) {
+	clock := b.Clock()
+	start := clock.Now()
+	const batch = 64
+	sent := 0
+	for sent < n {
+		k := batch
+		if n-sent < k {
+			k = n - sent
+		}
+		kvs := make([][2][]byte, k)
+		for i := range kvs {
+			kvs[i] = [2][]byte{nil, payload}
+		}
+		if _, err := b.PublishBatch(ctx, topic, kvs); err != nil {
+			return 0, err
+		}
+		sent += k
+		if rate > 0 {
+			// Pace to the target rate: sleep off any time we are ahead.
+			expected := time.Duration(float64(sent) / rate * float64(time.Second))
+			ahead := expected - clock.Now().Sub(start)
+			if ahead > 0 {
+				if !clock.Sleep(ctx, ahead) {
+					return 0, ctx.Err()
+				}
+			}
+		}
+	}
+	elapsed := clock.Now().Sub(start).Seconds()
+	if elapsed <= 0 {
+		return float64(n), nil
+	}
+	return float64(n) / elapsed, nil
+}
+
+// Window groups messages into tumbling windows of the given modeled width
+// by publish time, calling flush with each completed window. It is a
+// stateful helper for streaming aggregations (Table I's "global state
+// across batches").
+type Window struct {
+	width time.Duration
+	flush func(start time.Time, msgs []Message)
+
+	mu      sync.Mutex
+	current time.Time
+	batch   []Message
+}
+
+// NewWindow creates a tumbling window aggregator.
+func NewWindow(width time.Duration, flush func(start time.Time, msgs []Message)) *Window {
+	if width <= 0 {
+		panic("streaming: window width must be positive")
+	}
+	return &Window{width: width, flush: flush}
+}
+
+// Add routes a message into its window, flushing completed windows.
+func (w *Window) Add(m Message) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ws := m.Published.Truncate(w.width)
+	if w.current.IsZero() {
+		w.current = ws
+	}
+	if ws.After(w.current) {
+		w.flushLocked()
+		w.current = ws
+	}
+	w.batch = append(w.batch, m)
+}
+
+// Flush emits any buffered window.
+func (w *Window) Flush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushLocked()
+}
+
+func (w *Window) flushLocked() {
+	if len(w.batch) == 0 {
+		return
+	}
+	batch := w.batch
+	w.batch = nil
+	w.flush(w.current, batch)
+}

@@ -1,0 +1,191 @@
+package streaming
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gopilot/internal/infra"
+	"gopilot/internal/infra/serverless"
+	"gopilot/internal/metrics"
+)
+
+// ServerlessConfig describes a FaaS-backed stream processor: the
+// serverless deployment mode of Pilot-Streaming studied in [73], where
+// message batches are dispatched to function invocations instead of
+// long-running pilot workers. Cold starts and the platform's concurrency
+// limit shape latency and throughput.
+type ServerlessConfig struct {
+	// Topic to consume.
+	Topic string
+	// Function is the FaaS function name (its warm pool is keyed by this).
+	Function string
+	// BatchSize bounds messages per invocation (default 64, like a Kinesis
+	// → Lambda event source mapping).
+	BatchSize int
+	// CostPerMessage is the modeled processing cost per message inside the
+	// function, charged once per invocation batch.
+	CostPerMessage time.Duration
+	// Handler is the real computation applied to each message inside the
+	// invocation.
+	Handler func(ctx context.Context, msg Message) error
+}
+
+// ServerlessProcessor drives a topic through function invocations, one
+// ordered dispatcher per partition (matching the per-shard ordering of
+// real event source mappings).
+type ServerlessProcessor struct {
+	cfg      ServerlessConfig
+	broker   *Broker
+	platform *serverless.Platform
+
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	processed int64
+	started   time.Time
+	stopped   time.Time
+	latencies *metrics.Series
+}
+
+// StartServerless begins consuming the topic via FaaS invocations.
+func StartServerless(ctx context.Context, platform *serverless.Platform, broker *Broker, cfg ServerlessConfig) (*ServerlessProcessor, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("streaming: serverless processor needs a handler")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.Function == "" {
+		cfg.Function = "stream-fn"
+	}
+	nparts, err := broker.Partitions(cfg.Topic)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	p := &ServerlessProcessor{
+		cfg:       cfg,
+		broker:    broker,
+		platform:  platform,
+		stop:      cancel,
+		started:   broker.Clock().Now(),
+		latencies: metrics.NewSeries("faas_e2e_latency_s"),
+	}
+	for part := 0; part < nparts; part++ {
+		p.wg.Add(1)
+		go func(part int) {
+			defer p.wg.Done()
+			p.dispatch(runCtx, part)
+		}(part)
+	}
+	return p, nil
+}
+
+// dispatch is the per-partition poll → invoke loop.
+func (p *ServerlessProcessor) dispatch(ctx context.Context, part int) {
+	clock := p.broker.Clock()
+	var offset int64
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		pollCtx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+		batch, err := p.broker.Fetch(pollCtx, p.cfg.Topic, part, offset, p.cfg.BatchSize)
+		cancel()
+		if err != nil {
+			if errors.Is(err, ErrBrokerClosed) || ctx.Err() != nil {
+				return
+			}
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				continue
+			}
+			return
+		}
+		// One function invocation per batch; the invocation pays cold or
+		// warm start inside the platform, then the modeled batch cost.
+		err = p.platform.Invoke(ctx, p.cfg.Function, func(ictx context.Context, _ infra.Allocation) error {
+			if p.cfg.CostPerMessage > 0 {
+				cost := time.Duration(len(batch)) * p.cfg.CostPerMessage
+				if !clock.Sleep(ictx, cost) {
+					return ictx.Err()
+				}
+			}
+			for _, m := range batch {
+				if err := p.cfg.Handler(ictx, m); err != nil {
+					return fmt.Errorf("streaming: serverless handler at %s[%d]@%d: %w",
+						m.Topic, m.Partition, m.Offset, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, serverless.ErrClosed) {
+				return
+			}
+			// Invocation failure: the batch is retried (at-least-once
+			// semantics of real event source mappings).
+			continue
+		}
+		now := clock.Now()
+		p.mu.Lock()
+		for _, m := range batch {
+			p.latencies.Add(now.Sub(m.Published).Seconds())
+			p.processed++
+		}
+		p.mu.Unlock()
+		offset += int64(len(batch))
+	}
+}
+
+// Processed returns the number of messages completed.
+func (p *ServerlessProcessor) Processed() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.processed
+}
+
+// WaitProcessed blocks until at least n messages completed or ctx ends.
+func (p *ServerlessProcessor) WaitProcessed(ctx context.Context, n int64) error {
+	for {
+		if p.Processed() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Stop terminates the dispatchers.
+func (p *ServerlessProcessor) Stop() {
+	p.stop()
+	p.wg.Wait()
+	p.mu.Lock()
+	p.stopped = p.broker.Clock().Now()
+	p.mu.Unlock()
+}
+
+// Throughput returns completed messages per modeled second.
+func (p *ServerlessProcessor) Throughput() float64 {
+	p.mu.Lock()
+	processed := p.processed
+	end := p.stopped
+	p.mu.Unlock()
+	if end.IsZero() {
+		end = p.broker.Clock().Now()
+	}
+	elapsed := end.Sub(p.started).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(processed) / elapsed
+}
+
+// LatencyStats summarizes end-to-end latency (seconds).
+func (p *ServerlessProcessor) LatencyStats() metrics.Summary { return p.latencies.Summary() }

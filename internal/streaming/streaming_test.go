@@ -1,0 +1,369 @@
+package streaming
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gopilot/internal/core"
+	"gopilot/internal/saga"
+	"gopilot/internal/vclock"
+)
+
+func fastClock() *vclock.Scaled { return vclock.NewScaled(2000) }
+
+func newBroker(clock *vclock.Scaled) *Broker {
+	return NewBroker(BrokerConfig{
+		Name:         "b",
+		AppendCost:   time.Millisecond, // 1000 msg/s per partition
+		FetchLatency: time.Millisecond,
+		Clock:        clock,
+	})
+}
+
+func TestCreateTopicAndPartitions(t *testing.T) {
+	b := newBroker(fastClock())
+	defer b.Close()
+	if err := b.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Partitions("t")
+	if err != nil || n != 4 {
+		t.Fatalf("Partitions = %d %v", n, err)
+	}
+	// Idempotent with same count, conflict with different count.
+	if err := b.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("t", 8); err == nil {
+		t.Fatal("conflicting partition count accepted")
+	}
+	if err := b.CreateTopic("z", 0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+}
+
+func TestPublishFetchRoundTrip(t *testing.T) {
+	b := newBroker(fastClock())
+	defer b.Close()
+	b.CreateTopic("t", 1)
+	m, err := b.Publish(context.Background(), "t", []byte("k"), []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offset != 0 || m.Partition != 0 {
+		t.Fatalf("msg = %+v", m)
+	}
+	got, err := b.Fetch(context.Background(), "t", 0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Value) != "v" {
+		t.Fatalf("fetch = %+v", got)
+	}
+}
+
+func TestPerPartitionOrdering(t *testing.T) {
+	b := newBroker(fastClock())
+	defer b.Close()
+	b.CreateTopic("t", 2)
+	key := []byte("same-key")
+	for i := 0; i < 20; i++ {
+		b.Publish(context.Background(), "t", key, []byte{byte(i)})
+	}
+	p := partitionOf(key, 2)
+	msgs, err := b.Fetch(context.Background(), "t", p, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 20 {
+		t.Fatalf("got %d messages, want 20", len(msgs))
+	}
+	for i, m := range msgs {
+		if int(m.Value[0]) != i || m.Offset != int64(i) {
+			t.Fatalf("ordering violated at %d: %+v", i, m)
+		}
+	}
+}
+
+func TestKeylessPublishesSpreadRoundRobin(t *testing.T) {
+	b := newBroker(fastClock())
+	defer b.Close()
+	b.CreateTopic("t", 4)
+	counts := make(map[int]int)
+	for i := 0; i < 16; i++ {
+		m, err := b.Publish(context.Background(), "t", nil, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[m.Partition]++
+	}
+	for p := 0; p < 4; p++ {
+		if counts[p] != 4 {
+			t.Fatalf("partition %d got %d messages, want 4 (%v)", p, counts[p], counts)
+		}
+	}
+}
+
+func TestFetchLongPollWakesOnPublish(t *testing.T) {
+	b := newBroker(fastClock())
+	defer b.Close()
+	b.CreateTopic("t", 1)
+	got := make(chan []Message, 1)
+	go func() {
+		msgs, err := b.Fetch(context.Background(), "t", 0, 0, 10)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- msgs
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Publish(context.Background(), "t", nil, []byte("wake"))
+	select {
+	case msgs := <-got:
+		if len(msgs) != 1 || string(msgs[0].Value) != "wake" {
+			t.Fatalf("msgs = %+v", msgs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("long poll never woke")
+	}
+}
+
+func TestFetchAfterCloseReturnsError(t *testing.T) {
+	b := newBroker(fastClock())
+	b.CreateTopic("t", 1)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.Fetch(context.Background(), "t", 0, 0, 10)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrBrokerClosed) {
+			t.Fatalf("err = %v, want ErrBrokerClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fetch never returned after close")
+	}
+}
+
+func TestUnknownTopicErrors(t *testing.T) {
+	b := newBroker(fastClock())
+	defer b.Close()
+	if _, err := b.Publish(context.Background(), "ghost", nil, nil); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := b.Fetch(context.Background(), "ghost", 0, 0, 1); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := b.EndOffset("ghost", 0); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAppendCostThrottlesProducer(t *testing.T) {
+	// Moderate factor: modeled durations must dominate wall-clock noise
+	// when we assert on achieved rates.
+	clock := vclock.NewScaled(100)
+	b := NewBroker(BrokerConfig{AppendCost: 10 * time.Millisecond, FetchLatency: time.Millisecond, Clock: clock})
+	defer b.Close()
+	b.CreateTopic("t", 1)
+	start := clock.Now()
+	// 400 messages at 10ms each ≈ 4s modeled on a single partition.
+	rate, err := Produce(context.Background(), b, "t", 400, 0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clock.Since(start)
+	if elapsed < 2*time.Second {
+		t.Errorf("elapsed = %v, want ≈4s (throttled)", elapsed)
+	}
+	if rate > 150 {
+		t.Errorf("achieved rate = %g msg/s, want ≈100 (single partition cap)", rate)
+	}
+}
+
+func TestMorePartitionsRaiseCapacity(t *testing.T) {
+	clock := vclock.NewScaled(100)
+	b := NewBroker(BrokerConfig{AppendCost: 10 * time.Millisecond, FetchLatency: time.Millisecond, Clock: clock})
+	defer b.Close()
+	b.CreateTopic("one", 1)
+	b.CreateTopic("four", 4)
+	r1, err := Produce(context.Background(), b, "one", 400, 0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Produce(context.Background(), b, "four", 400, 0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 < 2*r1 {
+		t.Errorf("4-partition rate %.0f not ≫ 1-partition rate %.0f", r4, r1)
+	}
+}
+
+func newStreamEnv(t *testing.T, clock *vclock.Scaled, cores int) *core.Manager {
+	t.Helper()
+	reg := saga.NewRegistry()
+	reg.Register(saga.NewLocalService("sp", cores, clock))
+	mgr := core.NewManager(core.Config{Registry: reg, Clock: clock})
+	t.Cleanup(mgr.Close)
+	p, err := mgr.SubmitPilot(core.PilotDescription{Resource: "local://sp", Cores: cores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.State() != core.PilotRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("pilot never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return mgr
+}
+
+func TestProcessorConsumesAll(t *testing.T) {
+	clock := fastClock()
+	b := newBroker(clock)
+	defer b.Close()
+	b.CreateTopic("t", 4)
+	mgr := newStreamEnv(t, clock, 8)
+
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	proc, err := StartProcessor(context.Background(), mgr, b, ProcessorConfig{
+		Name: "p", Topic: "t", Workers: 2,
+		Handler: func(_ context.Context, _ core.TaskContext, m Message) error {
+			mu.Lock()
+			seen[string(m.Value)] = true
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := b.Publish(context.Background(), "t", nil, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := proc.WaitProcessed(ctx, n); err != nil {
+		t.Fatalf("processed %d of %d: %v", proc.Processed(), n, err)
+	}
+	proc.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != n {
+		t.Fatalf("distinct messages = %d, want %d", len(seen), n)
+	}
+	if proc.Throughput() <= 0 {
+		t.Error("throughput not measured")
+	}
+	if proc.LatencyStats().N != n {
+		t.Errorf("latency samples = %d, want %d", proc.LatencyStats().N, n)
+	}
+}
+
+func TestProcessorLatencyGrowsWithSlowHandler(t *testing.T) {
+	clock := fastClock()
+	b := newBroker(clock)
+	defer b.Close()
+	b.CreateTopic("t", 1)
+	mgr := newStreamEnv(t, clock, 2)
+
+	proc, err := StartProcessor(context.Background(), mgr, b, ProcessorConfig{
+		Topic: "t", Workers: 1,
+		Handler: func(ctx context.Context, tc core.TaskContext, _ Message) error {
+			tc.Sleep(ctx, 50*time.Millisecond) // slower than arrival
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		b.Publish(context.Background(), "t", nil, []byte("x"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := proc.WaitProcessed(ctx, 50); err != nil {
+		t.Fatal(err)
+	}
+	proc.Stop()
+	lat := proc.LatencyStats()
+	// Later messages queue behind earlier ones: p95 must exceed median.
+	if lat.P95 <= lat.Median {
+		t.Errorf("latency did not grow under backlog: median=%g p95=%g", lat.Median, lat.P95)
+	}
+}
+
+func TestProcessorValidation(t *testing.T) {
+	clock := fastClock()
+	b := newBroker(clock)
+	defer b.Close()
+	b.CreateTopic("t", 1)
+	mgr := newStreamEnv(t, clock, 2)
+	if _, err := StartProcessor(context.Background(), mgr, b, ProcessorConfig{Topic: "t"}); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if _, err := StartProcessor(context.Background(), mgr, b, ProcessorConfig{Topic: "ghost", Handler: func(context.Context, core.TaskContext, Message) error { return nil }}); err == nil {
+		t.Error("unknown topic accepted")
+	}
+}
+
+func TestWindowTumbles(t *testing.T) {
+	var mu sync.Mutex
+	var flushed [][]Message
+	w := NewWindow(time.Minute, func(_ time.Time, msgs []Message) {
+		mu.Lock()
+		flushed = append(flushed, msgs)
+		mu.Unlock()
+	})
+	base := time.Date(2020, 3, 25, 12, 0, 0, 0, time.UTC)
+	w.Add(Message{Published: base.Add(10 * time.Second)})
+	w.Add(Message{Published: base.Add(30 * time.Second)})
+	w.Add(Message{Published: base.Add(70 * time.Second)}) // next window → flush first
+	mu.Lock()
+	if len(flushed) != 1 || len(flushed[0]) != 2 {
+		t.Fatalf("flushed = %v", flushed)
+	}
+	mu.Unlock()
+	w.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushed) != 2 || len(flushed[1]) != 1 {
+		t.Fatalf("flushed after Flush = %v", flushed)
+	}
+}
+
+func TestWindowPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWindow(0, func(time.Time, []Message) {})
+}
+
+func TestProduceAtRate(t *testing.T) {
+	clock := fastClock()
+	b := NewBroker(BrokerConfig{AppendCost: 100 * time.Microsecond, FetchLatency: time.Millisecond, Clock: clock})
+	defer b.Close()
+	b.CreateTopic("t", 4)
+	rate, err := Produce(context.Background(), b, "t", 200, 100, []byte("x")) // 100 msg/s target
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate > 150 {
+		t.Errorf("achieved rate %.0f exceeds 100 msg/s target by too much", rate)
+	}
+}
