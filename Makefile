@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration per exhibit: checks the benchmarks run end to end and
+# prints the per-exhibit wall times (compare against BENCH_baseline.json).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+ci: build vet test race bench

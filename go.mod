@@ -1,0 +1,3 @@
+module gopilot
+
+go 1.22

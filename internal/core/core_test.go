@@ -223,13 +223,15 @@ func TestPilotWalltimeRequeuesUnits(t *testing.T) {
 	env := newEnv(t, Config{}, hpc.Config{Nodes: 4, CoresPerNode: 4})
 	// Short-walltime pilot dies mid-unit; a second healthy pilot picks the
 	// unit up again (MaxRetries=2).
-	env.mgr.SubmitPilot(PilotDescription{Resource: "hpc://hpcA", Cores: 4, Walltime: 3 * time.Second})
+	env.mgr.SubmitPilot(PilotDescription{Resource: "hpc://hpcA", Cores: 4, Walltime: 5 * time.Second})
+	started := make(chan struct{})
 	var attempts atomic.Int32
 	u, _ := env.mgr.SubmitUnit(UnitDescription{
 		MaxRetries: 2,
 		Run: func(ctx context.Context, tc TaskContext) error {
 			n := attempts.Add(1)
 			if n == 1 {
+				close(started)
 				// First attempt outlives the pilot walltime.
 				tc.Sleep(ctx, time.Hour)
 				return ctx.Err()
@@ -237,7 +239,15 @@ func TestPilotWalltimeRequeuesUnits(t *testing.T) {
 			return nil
 		},
 	})
-	// Second pilot with a long walltime arrives later.
+	// The healthy pilot must not exist until the first attempt is running
+	// on the doomed one — otherwise the scheduler can start the unit
+	// directly on it, no walltime kill happens, and the unit completes in
+	// one attempt (seen under -race load).
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Skip("first attempt never started inside the short walltime (overloaded host)")
+	}
 	env.mgr.SubmitPilot(PilotDescription{Resource: "local://lh", Cores: 4})
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

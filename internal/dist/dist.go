@@ -1,0 +1,165 @@
+// Package dist provides the seeded probability distributions that drive
+// every stochastic element of the simulated infrastructure: exogenous
+// batch-queue waits, VM boot delays, HTC match delays, serverless
+// cold-starts, synthetic task service times, and preemption draws. The
+// paper's evaluation (arXiv:2002.09009, §V) models these as lognormal /
+// normal processes; its methodology demands that any experiment be
+// reproducible from a single seed, which is what the splittable Stream
+// underneath each distribution guarantees.
+//
+// All distributions are concurrency-safe: many goroutines may call
+// Sample on the same value, and the sequence of draws each *component*
+// sees is fixed by its own sub-stream, not by goroutine interleaving.
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist is a real-valued probability distribution. Sample draws the next
+// variate from the distribution's own deterministic stream; Mean and
+// Quantile expose the analytical moments the white-box performance
+// models need (perfmodel's makespan bounds reason about means and
+// max-of-n quantiles without burning samples).
+type Dist interface {
+	// Sample draws the next variate.
+	Sample() float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// Quantile returns the p-quantile (inverse CDF) for p in [0, 1].
+	Quantile(p float64) float64
+}
+
+// Constant returns the degenerate distribution that always yields v —
+// the workhorse of unit tests, which need exogenous delays pinned.
+func Constant(v float64) Dist { return constant(v) }
+
+type constant float64
+
+func (c constant) Sample() float64            { return float64(c) }
+func (c constant) Mean() float64              { return float64(c) }
+func (c constant) Quantile(p float64) float64 { return float64(c) }
+
+// Normal is a normal distribution drawing from its own stream.
+type Normal struct {
+	mean, sd float64
+	s        *Stream
+}
+
+// NewNormal returns a Normal(mean, sd²) seeded independently of every
+// other distribution built from a different seed.
+func NewNormal(mean, sd float64, seed int64) *Normal {
+	return NormalFrom(NewStream(seed), mean, sd)
+}
+
+// NormalFrom builds a Normal on an existing (sub-)stream — the hook for
+// experiments that fan one root seed out into per-component streams.
+func NormalFrom(s *Stream, mean, sd float64) *Normal {
+	return &Normal{mean: mean, sd: math.Abs(sd), s: s}
+}
+
+func (n *Normal) Sample() float64 { return n.mean + n.sd*n.s.NormFloat64() }
+func (n *Normal) Mean() float64   { return n.mean }
+
+func (n *Normal) Quantile(p float64) float64 {
+	return n.mean + n.sd*math.Sqrt2*math.Erfinv(2*clamp01(p)-1)
+}
+
+// LogNormal is a lognormal distribution parameterized — as the paper's
+// queue-wait models are — by its *actual* mean and coefficient of
+// variation, not by the underlying normal's (mu, sigma).
+type LogNormal struct {
+	mu, sigma float64 // parameters of the underlying normal
+	mean      float64
+	s         *Stream
+}
+
+// NewLogNormal returns a lognormal with the given mean and coefficient
+// of variation (sd/mean). cv <= 0 degenerates to a constant at mean.
+func NewLogNormal(mean, cv float64, seed int64) *LogNormal {
+	return LogNormalFrom(NewStream(seed), mean, cv)
+}
+
+// LogNormalFrom builds a LogNormal on an existing (sub-)stream.
+func LogNormalFrom(s *Stream, mean, cv float64) *LogNormal {
+	if mean <= 0 {
+		mean = math.SmallestNonzeroFloat64
+	}
+	if cv < 0 {
+		cv = 0
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	return &LogNormal{
+		mu:    math.Log(mean) - sigma2/2,
+		sigma: math.Sqrt(sigma2),
+		mean:  mean,
+		s:     s,
+	}
+}
+
+func (l *LogNormal) Sample() float64 {
+	return math.Exp(l.mu + l.sigma*l.s.NormFloat64())
+}
+
+func (l *LogNormal) Mean() float64 { return l.mean }
+
+func (l *LogNormal) Quantile(p float64) float64 {
+	return math.Exp(l.mu + l.sigma*math.Sqrt2*math.Erfinv(2*clamp01(p)-1))
+}
+
+// BernoulliDist is the {0, 1} distribution with success probability P.
+type BernoulliDist struct {
+	p float64
+	s *Stream
+}
+
+// NewBernoulli returns a seeded Bernoulli(p) distribution; Sample yields
+// 1 with probability p and 0 otherwise.
+func NewBernoulli(p float64, seed int64) *BernoulliDist {
+	return BernoulliFrom(NewStream(seed), p)
+}
+
+// BernoulliFrom builds a Bernoulli on an existing (sub-)stream.
+func BernoulliFrom(s *Stream, p float64) *BernoulliDist {
+	return &BernoulliDist{p: clamp01(p), s: s}
+}
+
+func (b *BernoulliDist) Sample() float64 {
+	if b.s.Float64() < b.p {
+		return 1
+	}
+	return 0
+}
+
+func (b *BernoulliDist) Mean() float64 { return b.p }
+
+func (b *BernoulliDist) Quantile(p float64) float64 {
+	if clamp01(p) > 1-b.p {
+		return 1
+	}
+	return 0
+}
+
+// Bernoulli draws one success/failure from a caller-owned math/rand
+// generator with probability p — used by adaptors (HTC eviction) that
+// already thread their own *rand.Rand.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

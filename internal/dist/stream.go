@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Stream is a deterministic, splittable, concurrency-safe random stream.
+// It is the single source of randomness for every distribution in this
+// package: one experiment seed fans out — via Split/SplitLabel — into
+// independent sub-streams per infrastructure component, pilot, or unit,
+// so a whole run is bit-reproducible from one int64 no matter how the
+// consuming goroutines interleave (each sub-stream is consumed by its
+// own component; the split tree, not scheduling, fixes the draws).
+//
+// The generator is SplitMix64 with per-stream gamma, following Steele,
+// Lea & Flood, "Fast Splittable Pseudorandom Number Generators"
+// (OOPSLA'14) — the same construction as Java's SplittableRandom. It is
+// implemented here rather than delegated to math/rand so the sequence
+// is fixed by this repo, not by the Go release.
+type Stream struct {
+	mu    sync.Mutex
+	state uint64
+	gamma uint64 // per-stream increment; always odd
+	seed0 uint64 // birth state, so SplitLabel is consumption-independent
+}
+
+const goldenGamma = 0x9E3779B97F4A7C15
+
+// mix64 is the SplitMix64 output finalizer (variant 13 of Stafford's
+// mixers).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// mixGamma derives an odd gamma with enough 0/1 transitions to make the
+// Weyl sequence well distributed.
+func mixGamma(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCD
+	z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53
+	z = (z ^ (z >> 33)) | 1
+	if bits.OnesCount64(z^(z>>1)) < 24 {
+		z ^= 0xAAAAAAAAAAAAAAAA
+	}
+	return z
+}
+
+// NewStream returns the root stream for a seed. Equal seeds yield equal
+// streams.
+func NewStream(seed int64) *Stream {
+	s := mix64(uint64(seed))
+	return &Stream{state: s, gamma: goldenGamma, seed0: s}
+}
+
+func (s *Stream) nextState() uint64 {
+	s.state += s.gamma
+	return s.state
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Stream) Uint64() uint64 {
+	s.mu.Lock()
+	v := mix64(s.nextState())
+	s.mu.Unlock()
+	return v
+}
+
+// Split returns a new stream statistically independent of the receiver.
+// The child's identity depends on how many values the parent has already
+// produced; for order-independent children use SplitLabel.
+func (s *Stream) Split() *Stream {
+	s.mu.Lock()
+	seed := mix64(s.nextState())
+	gamma := mixGamma(s.nextState())
+	s.mu.Unlock()
+	return &Stream{state: seed, gamma: gamma, seed0: seed}
+}
+
+// SplitLabel returns the sub-stream for a label (a pilot index, unit
+// ordinal, component id…). Unlike Split it neither advances nor reads
+// the parent's position: children are derived from the parent's birth
+// state, so the same (stream, label) pair always yields the same child,
+// regardless of when or from which goroutine it is requested — this is
+// what makes goroutine-partitioned experiments bit-reproducible.
+func (s *Stream) SplitLabel(label uint64) *Stream {
+	s.mu.Lock()
+	base, g := s.seed0, s.gamma
+	s.mu.Unlock()
+	seed := mix64(base ^ mix64(label*goldenGamma+1))
+	return &Stream{state: seed, gamma: mixGamma(seed ^ g), seed0: seed}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// openFloat64 returns a uniform float64 strictly inside (0, 1) — safe to
+// feed through inverse CDFs that diverge at the endpoints.
+func (s *Stream) openFloat64() float64 {
+	return (float64(s.Uint64()>>11) + 0.5) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate via the inverse-CDF
+// transform. One uniform draw per variate keeps sub-stream accounting
+// simple (no cached spare as in Box–Muller), and the transform is
+// monotone in the underlying uniform.
+func (s *Stream) NormFloat64() float64 {
+	return math.Sqrt2 * math.Erfinv(2*s.openFloat64()-1)
+}
+
+// Int63 makes Stream a math/rand Source, so legacy call sites can wrap a
+// sub-stream in rand.New.
+func (s *Stream) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed reseeds the stream in place (math/rand Source contract).
+func (s *Stream) Seed(seed int64) {
+	s.mu.Lock()
+	s.state = mix64(uint64(seed))
+	s.gamma = goldenGamma
+	s.seed0 = s.state
+	s.mu.Unlock()
+}
