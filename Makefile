@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -19,4 +19,9 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
-ci: build vet test race bench
+# Gate against BENCH_baseline.json: three iterations per exhibit, fail on
+# >10% sustained regression (with a 25ms absolute floor for noise).
+bench-compare:
+	bash -o pipefail -c "$(GO) test -bench=. -benchtime=3x -run '^$$' . | $(GO) run ./cmd/benchcompare"
+
+ci: build vet test race bench-compare

@@ -1,0 +1,110 @@
+// Command benchcompare gates performance regressions: it parses `go test
+// -bench` output from stdin, compares each benchmark's ns/op against the
+// reference timings in BENCH_baseline.json, and exits non-zero when any
+// exhibit regresses more than the threshold.
+//
+// Usage (see `make bench-compare`):
+//
+//	go test -bench=. -benchtime=3x -run '^$' . | benchcompare [-baseline BENCH_baseline.json]
+//
+// A regression must exceed both the relative threshold (-max-regress,
+// default 10%) and the absolute floor (-floor, default 25ms) to fail the
+// gate: the exhibits are CPU-bound on the virtual clock, so single-digit
+// millisecond deltas are scheduler noise, not regressions. Improvements
+// are reported but never fail. Benchmarks missing from the baseline (new
+// exhibits) are reported as warnings; baseline entries missing from the
+// run (renames, partially-crashed suites) fail the gate, so the baseline
+// gets regenerated deliberately (see BENCH_baseline.json's "command"
+// field).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baseline struct {
+	Recorded string             `json:"recorded"`
+	Command  string             `json:"command"`
+	NsPerOp  map[string]float64 `json:"ns_per_op"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline timings file")
+	maxRegress := flag.Float64("max-regress", 10, "max allowed regression in percent")
+	floor := flag.Duration("floor", 25_000_000, "absolute slowdown a regression must also exceed")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: parsing %s: %v\n", *basePath, err)
+		os.Exit(2)
+	}
+
+	got := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the bench output through
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err == nil {
+				got[m[1]] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	failures := 0
+	for name, ref := range base.NsPerOp {
+		cur, ok := got[name]
+		if !ok {
+			// A baseline benchmark absent from the run means a rename or a
+			// partially-crashed bench suite — fail rather than let a green
+			// pipe hide it.
+			fmt.Printf("benchcompare: FAIL %s in baseline but not in run\n", name)
+			failures++
+			continue
+		}
+		deltaPct := (cur - ref) / ref * 100
+		switch {
+		case cur > ref*(1+*maxRegress/100) && cur-ref > float64(*floor):
+			fmt.Printf("benchcompare: FAIL %s regressed %+.1f%% (%.1fms -> %.1fms)\n",
+				name, deltaPct, ref/1e6, cur/1e6)
+			failures++
+		default:
+			fmt.Printf("benchcompare: ok   %s %+.1f%% (%.1fms -> %.1fms)\n",
+				name, deltaPct, ref/1e6, cur/1e6)
+		}
+	}
+	for name := range got {
+		if _, ok := base.NsPerOp[name]; !ok {
+			fmt.Printf("benchcompare: WARN %s not in baseline (regenerate %s)\n", name, *basePath)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) regressed beyond %.0f%% vs %s (recorded %s)\n",
+			failures, *maxRegress, *basePath, base.Recorded)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcompare: all %d benchmarks within %.0f%% of baseline\n", len(got), *maxRegress)
+}

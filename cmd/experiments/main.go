@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	experiments [-run name] [-scale factor] [-list]
+//	experiments [-run name] [-clock virtual|scaled|real] [-scale factor] [-list]
 //
-// With no -run flag every experiment executes in order. -scale sets the
-// virtual-time compression (default 1000: one modeled second per wall
-// millisecond); smaller factors increase fidelity at the cost of wall time.
+// With no -run flag every experiment executes in order. -clock selects the
+// time substrate (default "virtual": the conservative virtual-time
+// executor — zero wall time per modeled sleep, bit-reproducible from the
+// seed). -clock=scaled replays modeled time in compressed wall time for
+// live demos, with -scale setting the compression (default 1000: one
+// modeled second per wall millisecond); -clock=real runs uncompressed.
 package main
 
 import (
@@ -39,10 +42,18 @@ func table(f func(float64) (*metrics.Table, error)) func(float64) (*metrics.Tabl
 
 func main() {
 	runName := flag.String("run", "", "run only the named experiment (see -list)")
-	scale := flag.Float64("scale", experiments.DefaultScale, "virtual time compression factor")
+	clockMode := flag.String("clock", "virtual", "clock mode: virtual (zero-wall-time, deterministic), scaled or real")
+	scale := flag.Float64("scale", experiments.DefaultScale, "virtual time compression factor (scaled clock only)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	flag.Parse()
+
+	mode, err := experiments.ParseClockMode(*clockMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	experiments.DefaultClockMode = mode
 
 	all := []experiment{
 		{"table1", "Table I — five application scenarios on one abstraction (E1)", table(experiments.Table1)},

@@ -28,9 +28,17 @@ import (
 func main() {
 	kind := flag.String("kind", "stream", "sweep kind: stream or tasks")
 	reps := flag.Int("reps", 1, "repetitions per configuration")
-	scale := flag.Float64("scale", experiments.DefaultScale, "virtual time compression factor")
+	clockMode := flag.String("clock", "virtual", "clock mode: virtual (zero-wall-time, deterministic), scaled or real")
+	scale := flag.Float64("scale", experiments.DefaultScale, "virtual time compression factor (scaled clock only)")
 	csvPath := flag.String("csv", "", "write CSV to this file (default stdout table only)")
 	flag.Parse()
+
+	mode, err := experiments.ParseClockMode(*clockMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	experiments.DefaultClockMode = mode
 
 	var runner miniapp.Runner
 	switch *kind {

@@ -32,9 +32,17 @@ func main() {
 	taskSeconds := flag.Float64("task-seconds", 30, "mean task service time (modeled seconds)")
 	taskCV := flag.Float64("task-cv", 0.2, "task time coefficient of variation")
 	queueSeconds := flag.Float64("queue-seconds", 120, "mean batch queue wait (modeled seconds)")
-	scale := flag.Float64("scale", experiments.DefaultScale, "virtual time compression factor")
+	clockMode := flag.String("clock", "virtual", "clock mode: virtual (zero-wall-time, deterministic), scaled or real")
+	scale := flag.Float64("scale", experiments.DefaultScale, "virtual time compression factor (scaled clock only)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	flag.Parse()
+
+	mode, err := experiments.ParseClockMode(*clockMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	experiments.DefaultClockMode = mode
 
 	urls := map[string]string{
 		"local": "local://localhost",

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	tb := experiments.NewTestbed(experiments.TestbedConfig{Scale: 1000, QueueWaitMean: 30, Seed: 9})
+	tb := experiments.NewTestbed(experiments.TestbedConfig{Mode: experiments.ClockScaled, Scale: 1000, QueueWaitMean: 30, Seed: 9})
 	defer tb.Close()
 	mgr := tb.NewManager(nil)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)

@@ -61,13 +61,13 @@ type Manager struct {
 	nextPilotID int
 	nextUnitID  int
 	activeUnits int
-	idleCh      chan struct{}
+	idle        *vclock.Event
 	closed      bool
 
-	kick chan struct{}
+	kick *vclock.Notifier
 	ctx  context.Context
 	stop context.CancelFunc
-	wg   sync.WaitGroup
+	wg   *vclock.Group
 }
 
 // ErrManagerClosed is returned by submissions after Close.
@@ -85,14 +85,15 @@ func NewManager(cfg Config) *Manager {
 		cfg.Scheduler = firstFit{}
 	}
 	m := &Manager{
-		cfg:    cfg,
-		idleCh: make(chan struct{}),
-		kick:   make(chan struct{}, 1),
+		cfg:  cfg,
+		idle: vclock.NewEvent(cfg.Clock),
+		kick: vclock.NewNotifier(cfg.Clock),
+		wg:   vclock.NewGroup(cfg.Clock),
 	}
-	close(m.idleCh) // no active units yet: idle
+	m.idle.Fire() // no active units yet: idle
 	m.ctx, m.stop = context.WithCancel(context.Background())
 	m.wg.Add(1)
-	go m.dispatchLoop()
+	vclock.Go(cfg.Clock, m.dispatchLoop)
 	return m
 }
 
@@ -131,9 +132,10 @@ func (m *Manager) SubmitPilot(d PilotDescription) (*Pilot, error) {
 		state:     PilotPending,
 		running:   make(map[*ComputeUnit]struct{}),
 		submitted: m.cfg.Clock.Now(),
-		work:      make(chan *ComputeUnit, d.Cores),
-		stopCh:    make(chan struct{}),
-		done:      make(chan struct{}),
+		workN:     vclock.NewNotifier(m.cfg.Clock),
+		stop:      vclock.NewEvent(m.cfg.Clock),
+		started:   vclock.NewEvent(m.cfg.Clock),
+		done:      vclock.NewEvent(m.cfg.Clock),
 	}
 	m.pilots = append(m.pilots, p)
 	m.mu.Unlock()
@@ -157,11 +159,11 @@ func (m *Manager) SubmitPilot(d PilotDescription) (*Pilot, error) {
 		return nil, fmt.Errorf("core: pilot submission to %s failed: %w", d.Resource, err)
 	}
 	m.wg.Add(1)
-	go func() {
+	vclock.Go(m.cfg.Clock, func() {
 		defer m.wg.Done()
-		<-job.Done()
+		job.Wait(context.Background())
 		m.pilotEnded(p, job)
-	}()
+	})
 	return p, nil
 }
 
@@ -184,12 +186,12 @@ func (m *Manager) SubmitUnit(d UnitDescription) (*ComputeUnit, error) {
 		desc:      d,
 		state:     UnitPending,
 		submitted: m.cfg.Clock.Now(),
-		done:      make(chan struct{}),
+		done:      vclock.NewEvent(m.cfg.Clock),
 	}
 	m.units = append(m.units, u)
 	m.pending = append(m.pending, u)
 	if m.activeUnits == 0 {
-		m.idleCh = make(chan struct{})
+		m.idle = vclock.NewEvent(m.cfg.Clock)
 	}
 	m.activeUnits++
 	m.mu.Unlock()
@@ -265,11 +267,9 @@ func (m *Manager) WaitAll(ctx context.Context) error {
 			m.mu.Unlock()
 			return nil
 		}
-		ch := m.idleCh
+		ev := m.idle
 		m.mu.Unlock()
-		select {
-		case <-ch:
-		case <-ctx.Done():
+		if !ev.Wait(ctx) {
 			return ctx.Err()
 		}
 	}
@@ -323,12 +323,7 @@ func (m *Manager) UnitMetrics() (waiting, runtime, turnaround metrics.Summary) {
 // Internal machinery
 // ---------------------------------------------------------------------------
 
-func (m *Manager) wake() {
-	select {
-	case m.kick <- struct{}{}:
-	default:
-	}
-}
+func (m *Manager) wake() { m.kick.Set() }
 
 func (m *Manager) notify(u *ComputeUnit, s UnitState) {
 	if m.cfg.OnUnitChange != nil {
@@ -338,13 +333,8 @@ func (m *Manager) notify(u *ComputeUnit, s UnitState) {
 
 func (m *Manager) dispatchLoop() {
 	defer m.wg.Done()
-	for {
-		select {
-		case <-m.ctx.Done():
-			return
-		case <-m.kick:
-			m.dispatchOnce()
-		}
+	for m.kick.Wait(m.ctx) {
+		m.dispatchOnce()
 	}
 }
 
@@ -379,9 +369,7 @@ func (m *Manager) dispatchOnce() {
 		cu.scheduled = now
 		cu.mu.Unlock()
 		m.notify(cu, UnitScheduled)
-		// The work channel has capacity == pilot cores and every queued
-		// unit holds >= 1 reserved core, so this send cannot block.
-		p.work <- cu
+		p.pushWork(cu)
 	}
 	m.pending = remaining
 }
@@ -409,9 +397,10 @@ func (m *Manager) pilotStarted(p *Pilot, alloc infra.Allocation) {
 	p.site = alloc.Site
 	p.alloc = alloc
 	p.freeCores = p.desc.Cores
-	p.started = now
+	p.startedAt = now
 	p.mu.Unlock()
 	m.mu.Unlock()
+	p.started.Fire()
 	m.wake()
 }
 
@@ -434,23 +423,15 @@ func (m *Manager) pilotEnded(p *Pilot, job saga.Job) {
 	p.ended = now
 	p.mu.Unlock()
 
-	// Units stuck in the work channel (agent gone) go back to the queue.
-	var stranded []*ComputeUnit
-	for {
-		select {
-		case cu := <-p.work:
-			stranded = append(stranded, cu)
-		default:
-			goto drained
-		}
-	}
-drained:
+	// Units stuck in the work queue (agent gone) go back to the queue.
+	stranded := p.drainWork()
 	m.mu.Unlock()
 	for _, cu := range stranded {
 		m.returnSlots(p, cu)
 		m.requeueOrFail(cu, fmt.Errorf("core: pilot %s terminated before unit start", p.id))
 	}
-	close(p.done)
+	p.started.Fire() // unblock WaitRunning callers on failed pilots
+	p.done.Fire()
 	m.wake()
 }
 
@@ -580,15 +561,17 @@ func (m *Manager) finishUnit(p *Pilot, cu *ComputeUnit, s UnitState, err error) 
 	cu.err = err
 	cu.ended = now
 	cu.mu.Unlock()
-	close(cu.done)
+	cu.done.Fire()
 	m.notify(cu, s)
 
 	m.mu.Lock()
 	m.activeUnits--
-	if m.activeUnits == 0 {
-		close(m.idleCh)
-	}
+	idle := m.idle
+	fire := m.activeUnits == 0
 	m.mu.Unlock()
+	if fire {
+		idle.Fire()
+	}
 }
 
 func (u *ComputeUnit) isCancelled() bool {

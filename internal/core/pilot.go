@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gopilot/internal/infra"
+	"gopilot/internal/vclock"
 )
 
 // PilotState is the pilot lifecycle of the P* model.
@@ -77,13 +78,14 @@ type Pilot struct {
 	unitsDone int
 	err       error
 	submitted time.Time
-	started   time.Time
+	startedAt time.Time
 	ended     time.Time
+	workQ     []*ComputeUnit
 
-	work     chan *ComputeUnit
-	stopOnce sync.Once
-	stopCh   chan struct{}
-	done     chan struct{}
+	workN   *vclock.Notifier
+	stop    *vclock.Event
+	started *vclock.Event
+	done    *vclock.Event
 }
 
 // ID returns the manager-assigned pilot id.
@@ -138,16 +140,34 @@ func (p *Pilot) UnitsCompleted() int {
 }
 
 // Done returns a channel closed when the pilot reaches a terminal state.
-func (p *Pilot) Done() <-chan struct{} { return p.done }
+// Participants of a Virtual clock must use Wait instead.
+func (p *Pilot) Done() <-chan struct{} { return p.done.Done() }
 
 // Wait blocks until the pilot terminates or ctx is canceled.
 func (p *Pilot) Wait(ctx context.Context) (PilotState, error) {
-	select {
-	case <-p.done:
+	if p.done.Wait(ctx) {
 		return p.State(), p.Err()
-	case <-ctx.Done():
-		return p.State(), ctx.Err()
 	}
+	return p.State(), ctx.Err()
+}
+
+// WaitRunning blocks until the pilot's agent has started (now or in the
+// past) or the pilot terminated without ever running, or ctx is canceled.
+func (p *Pilot) WaitRunning(ctx context.Context) error {
+	if !p.started.Wait(ctx) {
+		return ctx.Err()
+	}
+	p.mu.Lock()
+	ran := !p.startedAt.IsZero()
+	state, err := p.state, p.err
+	p.mu.Unlock()
+	if ran {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("core: pilot %s %v before start: %w", p.id, state, err)
+	}
+	return fmt.Errorf("core: pilot %s %v before start", p.id, state)
 }
 
 // StartupTime returns submission → agent start (the pilot startup overhead
@@ -155,20 +175,51 @@ func (p *Pilot) Wait(ctx context.Context) (PilotState, error) {
 func (p *Pilot) StartupTime() time.Duration {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.started.IsZero() {
+	if p.startedAt.IsZero() {
 		return 0
 	}
-	return p.started.Sub(p.submitted)
+	return p.startedAt.Sub(p.submitted)
 }
 
 // Cancel asks the manager to cancel the pilot; running units are requeued
 // or failed according to their retry budget.
 func (p *Pilot) Cancel() { p.manager.cancelPilot(p) }
 
-// Shutdown stops the agent gracefully once its queue channel drains; like
-// Cancel, but intended for normal teardown (pilot ends in Done).
+// Shutdown stops the agent; like Cancel, but intended for normal teardown
+// (pilot ends in Done).
 func (p *Pilot) Shutdown() {
-	p.stopOnce.Do(func() { close(p.stopCh) })
+	p.stop.Fire()
+	p.workN.Set()
+}
+
+// pushWork queues a unit for the agent (called by the dispatcher; the
+// unit's cores are already reserved, so the queue never overfills).
+func (p *Pilot) pushWork(cu *ComputeUnit) {
+	p.mu.Lock()
+	p.workQ = append(p.workQ, cu)
+	p.mu.Unlock()
+	p.workN.Set()
+}
+
+// popWork dequeues the next unit, or nil.
+func (p *Pilot) popWork() *ComputeUnit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.workQ) == 0 {
+		return nil
+	}
+	cu := p.workQ[0]
+	p.workQ = p.workQ[1:]
+	return cu
+}
+
+// drainWork empties the work queue (agent gone; the manager requeues).
+func (p *Pilot) drainWork() []*ComputeUnit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.workQ
+	p.workQ = nil
+	return out
 }
 
 // agentRun is the pilot agent: the payload of the placeholder job. It
@@ -176,19 +227,26 @@ func (p *Pilot) Shutdown() {
 // units until the pilot is stopped, canceled or hits walltime.
 func (p *Pilot) agentRun(ctx context.Context, alloc infra.Allocation) error {
 	p.manager.pilotStarted(p, alloc)
-	var wg sync.WaitGroup
+	clock := p.manager.cfg.Clock
+	wg := vclock.NewGroup(clock)
 	defer wg.Wait()
 	for {
-		select {
-		case cu := <-p.work:
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if p.stop.Fired() {
+			return nil
+		}
+		if cu := p.popWork(); cu != nil {
+			cu := cu
 			wg.Add(1)
-			go func() {
+			vclock.Go(clock, func() {
 				defer wg.Done()
 				p.manager.executeUnit(ctx, p, cu)
-			}()
-		case <-p.stopCh:
-			return nil
-		case <-ctx.Done():
+			})
+			continue
+		}
+		if !p.workN.Wait(ctx) {
 			return ctx.Err()
 		}
 	}

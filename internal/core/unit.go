@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gopilot/internal/infra"
+	"gopilot/internal/vclock"
 )
 
 // UnitState is the compute-unit lifecycle of the P* model.
@@ -120,7 +121,7 @@ type ComputeUnit struct {
 	cancelled bool
 	cancelRun context.CancelFunc
 
-	done chan struct{}
+	done *vclock.Event
 }
 
 // ID returns the manager-assigned unit id.
@@ -158,16 +159,15 @@ func (u *ComputeUnit) Attempts() int {
 }
 
 // Done returns a channel closed when the unit reaches a terminal state.
-func (u *ComputeUnit) Done() <-chan struct{} { return u.done }
+// Participants of a Virtual clock must use Wait instead.
+func (u *ComputeUnit) Done() <-chan struct{} { return u.done.Done() }
 
 // Wait blocks until the unit terminates or ctx is canceled.
 func (u *ComputeUnit) Wait(ctx context.Context) (UnitState, error) {
-	select {
-	case <-u.done:
+	if u.done.Wait(ctx) {
 		return u.State(), u.Err()
-	case <-ctx.Done():
-		return u.State(), ctx.Err()
 	}
+	return u.State(), ctx.Err()
 }
 
 // SubmitTime returns the modeled submission time.

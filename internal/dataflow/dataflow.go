@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"gopilot/internal/core"
+	"gopilot/internal/vclock"
 )
 
 // TaskFunc is the body of one task of a stage; idx ranges over
@@ -164,9 +165,10 @@ func (g *Graph) Run(ctx context.Context, mgr *core.Manager) (map[string]StageRes
 	}
 	g.mu.Unlock()
 
-	doneCh := make(map[string]chan struct{}, len(stages))
+	clock := mgr.Clock()
+	doneEv := make(map[string]*vclock.Event, len(stages))
 	for name := range stages {
-		doneCh[name] = make(chan struct{})
+		doneEv[name] = vclock.NewEvent(clock)
 	}
 	results := make(map[string]StageResult, len(stages))
 	var resMu sync.Mutex
@@ -175,17 +177,15 @@ func (g *Graph) Run(ctx context.Context, mgr *core.Manager) (map[string]StageRes
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	var wg sync.WaitGroup
+	wg := vclock.NewGroup(clock)
 	for _, name := range order {
 		s := stages[name]
 		wg.Add(1)
-		go func() {
+		vclock.Go(clock, func() {
 			defer wg.Done()
 			// Wait for dependencies.
 			for _, d := range s.Deps {
-				select {
-				case <-doneCh[d]:
-				case <-runCtx.Done():
+				if !doneEv[d].Wait(runCtx) {
 					return
 				}
 			}
@@ -203,8 +203,8 @@ func (g *Graph) Run(ctx context.Context, mgr *core.Manager) (map[string]StageRes
 			resMu.Lock()
 			results[s.Name] = res
 			resMu.Unlock()
-			close(doneCh[s.Name])
-		}()
+			doneEv[s.Name].Fire()
+		})
 	}
 	wg.Wait()
 	if firstErr != nil {

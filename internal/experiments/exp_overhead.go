@@ -49,14 +49,11 @@ func PilotOverhead(scale float64, tasks int) (*metrics.Table, error) {
 		// overhead are separated (the decomposition the paper's overhead
 		// analysis makes).
 		waitCtx, waitCancel := context.WithTimeout(ctx, 4*time.Minute)
-		for p.State() != core.PilotRunning {
-			if waitCtx.Err() != nil {
-				waitCancel()
-				return nil, fmt.Errorf("%s: pilot never started (%v)", b.name, p.State())
-			}
-			time.Sleep(time.Millisecond)
-		}
+		err = p.WaitRunning(waitCtx)
 		waitCancel()
+		if err != nil {
+			return nil, fmt.Errorf("%s: pilot never started: %w", b.name, err)
+		}
 
 		start := tb.Clock.Now()
 		units := make([]*core.ComputeUnit, 0, tasks)

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"gopilot/internal/core"
@@ -22,15 +23,54 @@ import (
 	"gopilot/internal/vclock"
 )
 
-// DefaultScale compresses one modeled second into one wall millisecond.
+// DefaultScale compresses one modeled second into one wall millisecond
+// (only meaningful in ClockScaled mode).
 const DefaultScale = 1000
+
+// ClockMode selects the clock implementation a testbed runs on.
+type ClockMode int
+
+// Clock modes. The zero value defers to DefaultClockMode.
+const (
+	// ClockDefault uses DefaultClockMode.
+	ClockDefault ClockMode = iota
+	// ClockVirtual runs on vclock.Virtual: modeled sleeps cost zero wall
+	// time and same-seed runs are bit-reproducible. The goroutine calling
+	// NewTestbed is adopted into the executor until Close.
+	ClockVirtual
+	// ClockScaled runs on vclock.Scaled with TestbedConfig.Scale — real
+	// (compressed) wall time, for live demos.
+	ClockScaled
+	// ClockReal runs on wall time, uncompressed.
+	ClockReal
+)
+
+// ParseClockMode maps the -clock flag values to a mode.
+func ParseClockMode(s string) (ClockMode, error) {
+	switch s {
+	case "", "virtual":
+		return ClockVirtual, nil
+	case "scaled":
+		return ClockScaled, nil
+	case "real":
+		return ClockReal, nil
+	}
+	return ClockDefault, fmt.Errorf("experiments: unknown clock mode %q (want virtual, scaled or real)", s)
+}
+
+// DefaultClockMode is the mode used when TestbedConfig.Mode is
+// ClockDefault. Benchmarks, tests and exhibits all run virtual unless a
+// caller (cmd/experiments -clock) overrides this before any testbed is
+// built; it is not safe to change concurrently with testbed use.
+var DefaultClockMode = ClockVirtual
 
 // Testbed is the simulated multi-infrastructure environment every
 // experiment runs on: two HPC machines (different queue pressure), an HTC
 // pool, a cloud region, a YARN cluster and a Pilot-Data service
 // federating their sites.
 type Testbed struct {
-	Clock    *vclock.Scaled
+	Clock    vclock.Clock
+	Virtual  *vclock.Virtual // non-nil when running in ClockVirtual mode
 	Registry *saga.Registry
 	HPCA     *hpc.Cluster
 	HPCB     *hpc.Cluster
@@ -44,7 +84,10 @@ type Testbed struct {
 
 // TestbedConfig tunes the environment.
 type TestbedConfig struct {
-	// Scale is the virtual-time factor (default DefaultScale).
+	// Mode selects the clock (default: DefaultClockMode, normally virtual).
+	Mode ClockMode
+	// Scale is the virtual-time factor for ClockScaled (default
+	// DefaultScale); ignored on the virtual and real clocks.
 	Scale float64
 	// QueueWaitMean is machine A's mean exogenous queue wait in seconds
 	// (default 60). Machine B always waits 4× longer (a busier machine).
@@ -55,8 +98,14 @@ type TestbedConfig struct {
 	Seed int64
 }
 
-// NewTestbed builds the environment.
+// NewTestbed builds the environment. In virtual mode the calling goroutine
+// is adopted as a participant of the executor — it must be the (single)
+// driver of the testbed until Close, and must not touch a still-open outer
+// virtual testbed in between (nesting is fine; interleaving is not).
 func NewTestbed(cfg TestbedConfig) *Testbed {
+	if cfg.Mode == ClockDefault {
+		cfg.Mode = DefaultClockMode
+	}
 	if cfg.Scale <= 0 {
 		cfg.Scale = DefaultScale
 	}
@@ -66,8 +115,19 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	if cfg.QueueWaitCV <= 0 {
 		cfg.QueueWaitCV = 0.5
 	}
-	clock := vclock.NewScaled(cfg.Scale)
-	tb := &Testbed{Clock: clock, Registry: saga.NewRegistry()}
+	var clock vclock.Clock
+	var virtual *vclock.Virtual
+	switch cfg.Mode {
+	case ClockVirtual:
+		virtual = vclock.NewVirtual(vclock.Epoch)
+		clock = virtual
+		virtual.Adopt()
+	case ClockReal:
+		clock = vclock.NewReal()
+	default:
+		clock = vclock.NewScaled(cfg.Scale)
+	}
+	tb := &Testbed{Clock: clock, Virtual: virtual, Registry: saga.NewRegistry()}
 
 	tb.HPCA = hpc.New(hpc.Config{
 		Name: "stampede", Nodes: 64, CoresPerNode: 16,
@@ -133,7 +193,8 @@ func (tb *Testbed) NewManager(sched core.Scheduler) *core.Manager {
 	return m
 }
 
-// Close shuts every component down.
+// Close shuts every component down; in virtual mode it finally releases
+// the driver goroutine from the executor.
 func (tb *Testbed) Close() {
 	for _, m := range tb.managers {
 		m.Close()
@@ -144,4 +205,12 @@ func (tb *Testbed) Close() {
 	tb.Cloud.Shutdown()
 	tb.Yarn.Shutdown()
 	tb.Registry.CloseAll()
+	if tb.Virtual != nil {
+		tb.Virtual.Leave()
+	}
 }
+
+// Go spawns fn as a participant of the testbed's clock (a plain goroutine
+// on non-virtual clocks). Driver code that forks concurrent work against
+// the testbed must use this instead of the go statement.
+func (tb *Testbed) Go(fn func()) { vclock.Go(tb.Clock, fn) }

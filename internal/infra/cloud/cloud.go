@@ -119,7 +119,7 @@ type Provider struct {
 	closed bool
 	ctx    context.Context
 	stop   context.CancelFunc
-	wg     sync.WaitGroup
+	wg     *vclock.Group
 }
 
 // ErrQuota is returned when the VM quota would be exceeded.
@@ -134,6 +134,7 @@ var ErrUnknownType = errors.New("cloud: unknown instance type")
 // New creates a provider.
 func New(cfg Config) *Provider {
 	p := &Provider{cfg: cfg.withDefaults(), active: make(map[*VM]struct{})}
+	p.wg = vclock.NewGroup(p.cfg.Clock)
 	p.ctx, p.stop = context.WithCancel(context.Background())
 	return p
 }
@@ -213,18 +214,19 @@ func (p *Provider) Provision(ctx context.Context, n int, typeName string) ([]*VM
 	p.mu.Unlock()
 
 	// Boot instances concurrently; each samples its own latency.
-	var wg sync.WaitGroup
+	wg := vclock.NewGroup(p.cfg.Clock)
 	for _, vm := range vms {
+		vm := vm
 		boot := time.Duration(p.cfg.BootDelay.Sample() * float64(time.Second))
 		wg.Add(1)
-		go func(vm *VM, boot time.Duration) {
+		vclock.Go(p.cfg.Clock, func() {
 			defer wg.Done()
 			p.cfg.Clock.Sleep(ctx, boot)
 			vm.mu.Lock()
 			vm.state = Ready
 			vm.started = p.cfg.Clock.Now()
 			vm.mu.Unlock()
-		}(vm, boot)
+		})
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

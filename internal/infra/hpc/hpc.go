@@ -127,7 +127,7 @@ type Job struct {
 	ended     time.Time
 	err       error
 
-	done    chan struct{}
+	done    *vclock.Event
 	timeout bool
 	cancel  context.CancelFunc
 }
@@ -150,17 +150,16 @@ func (j *Job) Err() error {
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
-func (j *Job) Done() <-chan struct{} { return j.done }
+// Participants of a Virtual clock must use Wait instead.
+func (j *Job) Done() <-chan struct{} { return j.done.Done() }
 
 // Wait blocks until the job terminates or ctx is canceled, returning the
 // terminal state.
 func (j *Job) Wait(ctx context.Context) (State, error) {
-	select {
-	case <-j.done:
+	if j.done.Wait(ctx) {
 		return j.State(), j.Err()
-	case <-ctx.Done():
-		return j.State(), ctx.Err()
 	}
+	return j.State(), ctx.Err()
 }
 
 // QueueWait returns the modeled time the job spent queued; valid once the
@@ -202,10 +201,10 @@ type Cluster struct {
 	queueWaits *metrics.Series
 	runtimes   *metrics.Series
 
-	wake chan struct{}
+	wake *vclock.Notifier
 	ctx  context.Context
 	stop context.CancelFunc
-	wg   sync.WaitGroup
+	wg   *vclock.Group
 }
 
 // ErrClusterClosed is returned by Submit after Shutdown.
@@ -219,15 +218,16 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{
 		cfg:        cfg.withDefaults(),
 		running:    make(map[*Job]time.Time),
-		wake:       make(chan struct{}, 1),
 		queueWaits: metrics.NewSeries("queue_wait_s"),
 		runtimes:   metrics.NewSeries("runtime_s"),
 	}
+	c.wake = vclock.NewNotifier(c.cfg.Clock)
+	c.wg = vclock.NewGroup(c.cfg.Clock)
 	c.freeNodes = c.cfg.Nodes
 	c.opened = c.cfg.Clock.Now()
 	c.ctx, c.stop = context.WithCancel(context.Background())
 	c.wg.Add(1)
-	go c.schedulerLoop()
+	vclock.Go(c.cfg.Clock, c.schedulerLoop)
 	return c
 }
 
@@ -274,7 +274,7 @@ func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
 		state:     Pending,
 		submitted: now,
 		eligible:  now.Add(delay),
-		done:      make(chan struct{}),
+		done:      vclock.NewEvent(c.cfg.Clock),
 	}
 	c.pending = append(c.pending, j)
 	c.mu.Unlock()
@@ -300,7 +300,7 @@ func (c *Cluster) Cancel(j *Job) {
 		j.state = Canceled
 		j.ended = c.cfg.Clock.Now()
 		j.mu.Unlock()
-		close(j.done)
+		j.done.Fire()
 		c.mu.Unlock()
 		return
 	case Running:
@@ -377,7 +377,7 @@ func (c *Cluster) Shutdown() {
 		j.state = Canceled
 		j.ended = c.cfg.Clock.Now()
 		j.mu.Unlock()
-		close(j.done)
+		j.done.Fire()
 	}
 	for _, cancel := range cancels {
 		cancel()
@@ -387,33 +387,23 @@ func (c *Cluster) Shutdown() {
 }
 
 // kick nudges the scheduler loop.
-func (c *Cluster) kick() {
-	select {
-	case c.wake <- struct{}{}:
-	default:
-	}
-}
+func (c *Cluster) kick() { c.wake.Set() }
 
 // wakeAfter schedules a future kick in virtual time.
 func (c *Cluster) wakeAfter(d time.Duration) {
 	c.wg.Add(1)
-	go func() {
+	vclock.Go(c.cfg.Clock, func() {
 		defer c.wg.Done()
 		if c.cfg.Clock.Sleep(c.ctx, d) {
 			c.kick()
 		}
-	}()
+	})
 }
 
 func (c *Cluster) schedulerLoop() {
 	defer c.wg.Done()
-	for {
-		select {
-		case <-c.ctx.Done():
-			return
-		case <-c.wake:
-			c.schedule()
-		}
+	for c.wake.Wait(c.ctx) {
+		c.schedule()
 	}
 }
 
@@ -471,12 +461,21 @@ func (c *Cluster) shadowLocked(head *Job, now time.Time) (time.Time, int) {
 	type rel struct {
 		at    time.Time
 		nodes int
+		id    string
 	}
 	rels := make([]rel, 0, len(c.running))
 	for j, end := range c.running {
-		rels = append(rels, rel{at: end, nodes: j.spec.Nodes})
+		rels = append(rels, rel{at: end, nodes: j.spec.Nodes, id: j.id})
 	}
-	sort.Slice(rels, func(i, k int) bool { return rels[i].at.Before(rels[k].at) })
+	// Tie-break equal release times by job id: c.running is a map, and an
+	// order-dependent shadow would make backfill (and thus makespans)
+	// nondeterministic across same-seed runs.
+	sort.Slice(rels, func(i, k int) bool {
+		if !rels[i].at.Equal(rels[k].at) {
+			return rels[i].at.Before(rels[k].at)
+		}
+		return rels[i].id < rels[k].id
+	})
 	free := c.freeNodes
 	for _, r := range rels {
 		free += r.nodes
@@ -520,10 +519,10 @@ func (c *Cluster) startLocked(j *Job, now time.Time) {
 	}
 
 	c.wg.Add(1)
-	go func() {
+	vclock.Go(c.cfg.Clock, func() {
 		defer c.wg.Done()
 		c.runJob(ctx, cancel, j, alloc)
-	}()
+	})
 }
 
 func (c *Cluster) runJob(ctx context.Context, cancel context.CancelFunc, j *Job, alloc infra.Allocation) {
@@ -531,7 +530,7 @@ func (c *Cluster) runJob(ctx context.Context, cancel context.CancelFunc, j *Job,
 	// Walltime watchdog.
 	if j.spec.Walltime > 0 {
 		c.wg.Add(1)
-		go func() {
+		vclock.Go(c.cfg.Clock, func() {
 			defer c.wg.Done()
 			if c.cfg.Clock.Sleep(ctx, j.spec.Walltime) {
 				j.mu.Lock()
@@ -539,7 +538,7 @@ func (c *Cluster) runJob(ctx context.Context, cancel context.CancelFunc, j *Job,
 				j.mu.Unlock()
 				cancel()
 			}
-		}()
+		})
 	}
 	if c.cfg.DispatchOverhead > 0 {
 		c.cfg.Clock.Sleep(ctx, c.cfg.DispatchOverhead)
@@ -571,6 +570,6 @@ func (c *Cluster) runJob(ctx context.Context, cancel context.CancelFunc, j *Job,
 	c.busyNodeSec += now.Sub(started).Seconds() * float64(j.spec.Nodes)
 	c.mu.Unlock()
 	c.runtimes.Add(now.Sub(started).Seconds())
-	close(j.done)
+	j.done.Fire()
 	c.kick()
 }

@@ -124,7 +124,7 @@ type Job struct {
 	err       error
 	cancelled bool
 
-	done chan struct{}
+	done *vclock.Event
 }
 
 // ID returns the job identifier.
@@ -151,17 +151,16 @@ func (j *Job) Err() error {
 	return j.err
 }
 
-// Done returns a channel closed at terminal state.
-func (j *Job) Done() <-chan struct{} { return j.done }
+// Done returns a channel closed at terminal state. Participants of a
+// Virtual clock must use Wait instead.
+func (j *Job) Done() <-chan struct{} { return j.done.Done() }
 
 // Wait blocks for terminal state or ctx cancellation.
 func (j *Job) Wait(ctx context.Context) (State, error) {
-	select {
-	case <-j.done:
+	if j.done.Wait(ctx) {
 		return j.State(), j.Err()
-	case <-ctx.Done():
-		return j.State(), ctx.Err()
 	}
+	return j.State(), ctx.Err()
 }
 
 // TurnaroundTime is submission-to-termination in modeled time.
@@ -178,7 +177,7 @@ func (j *Job) TurnaroundTime() time.Duration {
 type Pool struct {
 	cfg Config
 
-	slots chan struct{} // counting semaphore of execution slots
+	slots *vclock.Sem // counting semaphore of execution slots
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -190,7 +189,7 @@ type Pool struct {
 
 	ctx  context.Context
 	stop context.CancelFunc
-	wg   sync.WaitGroup
+	wg   *vclock.Group
 }
 
 // ErrPoolClosed is returned by Submit after Shutdown.
@@ -202,7 +201,8 @@ func New(cfg Config) *Pool {
 		cfg:         cfg.withDefaults(),
 		matchDelays: metrics.NewSeries("match_delay_s"),
 	}
-	p.slots = make(chan struct{}, p.cfg.Slots)
+	p.slots = vclock.NewSem(p.cfg.Clock, p.cfg.Slots)
+	p.wg = vclock.NewGroup(p.cfg.Clock)
 	p.rng = rand.New(rand.NewSource(p.cfg.Seed))
 	p.ctx, p.stop = context.WithCancel(context.Background())
 	return p
@@ -243,14 +243,14 @@ func (p *Pool) Submit(spec JobSpec) (*Job, error) {
 		spec:      spec,
 		state:     Idle,
 		submitted: p.cfg.Clock.Now(),
-		done:      make(chan struct{}),
+		done:      vclock.NewEvent(p.cfg.Clock),
 	}
 	p.mu.Unlock()
 	p.wg.Add(1)
-	go func() {
+	vclock.Go(p.cfg.Clock, func() {
 		defer p.wg.Done()
 		p.run(j)
-	}()
+	})
 	return j, nil
 }
 
@@ -284,14 +284,12 @@ func (p *Pool) run(j *Job) {
 			return
 		}
 		// Acquire a slot.
-		select {
-		case p.slots <- struct{}{}:
-		case <-p.ctx.Done():
+		if !p.slots.Acquire(p.ctx) {
 			p.finish(j, Canceled, p.ctx.Err())
 			return
 		}
 		state, err := p.attempt(j)
-		<-p.slots
+		p.slots.Release()
 		switch state {
 		case Evicted:
 			j.mu.Lock()
@@ -339,13 +337,13 @@ func (p *Pool) attempt(j *Job) (State, error) {
 	if willEvict && j.spec.Runtime > 0 {
 		evictAfter := time.Duration(float64(j.spec.Runtime) * evictFrac)
 		p.wg.Add(1)
-		go func() {
+		vclock.Go(p.cfg.Clock, func() {
 			defer p.wg.Done()
 			if p.cfg.Clock.Sleep(ctx, evictAfter) {
 				evicted.Store(true)
 				cancel()
 			}
-		}()
+		})
 	}
 
 	alloc := infra.Allocation{
@@ -374,7 +372,7 @@ func (p *Pool) finish(j *Job, s State, err error) {
 	j.err = err
 	j.ended = p.cfg.Clock.Now()
 	j.mu.Unlock()
-	close(j.done)
+	j.done.Fire()
 }
 
 func (j *Job) isCancelled() bool {

@@ -64,7 +64,7 @@ func (c *Config) withDefaults() Config {
 type Platform struct {
 	cfg Config
 
-	sem chan struct{} // account concurrency limit
+	sem *vclock.Sem // account concurrency limit
 
 	mu     sync.Mutex
 	warm   map[string][]time.Time // function -> idle-since timestamps
@@ -86,7 +86,7 @@ func New(cfg Config) *Platform {
 		warm:      make(map[string][]time.Time),
 		latencies: metrics.NewSeries("invoke_latency_s"),
 	}
-	p.sem = make(chan struct{}, p.cfg.ConcurrencyLimit)
+	p.sem = vclock.NewSem(p.cfg.Clock, p.cfg.ConcurrencyLimit)
 	return p
 }
 
@@ -124,12 +124,10 @@ func (p *Platform) Invoke(ctx context.Context, function string, fn infra.Payload
 	}
 	p.mu.Unlock()
 
-	select {
-	case p.sem <- struct{}{}:
-	case <-ctx.Done():
+	if !p.sem.Acquire(ctx) {
 		return ctx.Err()
 	}
-	defer func() { <-p.sem }()
+	defer p.sem.Release()
 
 	start := p.cfg.Clock.Now()
 	cold := !p.takeWarm(function)

@@ -71,7 +71,7 @@ type Cluster struct {
 	freeCores int
 	nextID    int
 	closed    bool
-	waiters   []chan struct{}
+	waiters   []*vclock.Event
 }
 
 // ErrClosed is returned after Shutdown.
@@ -140,12 +140,10 @@ func (c *Cluster) RequestContainers(ctx context.Context, n, coresEach int) ([]*C
 			c.mu.Unlock()
 			return out, nil
 		}
-		ch := make(chan struct{})
-		c.waiters = append(c.waiters, ch)
+		ev := vclock.NewEvent(c.cfg.Clock)
+		c.waiters = append(c.waiters, ev)
 		c.mu.Unlock()
-		select {
-		case <-ch:
-		case <-ctx.Done():
+		if !ev.Wait(ctx) {
 			return nil, ctx.Err()
 		}
 	}
@@ -163,8 +161,8 @@ func (c *Cluster) Release(containers []*Container) {
 		}
 		ct.mu.Unlock()
 	}
-	for _, ch := range c.waiters {
-		close(ch)
+	for _, ev := range c.waiters {
+		ev.Fire()
 	}
 	c.waiters = nil
 }
@@ -191,8 +189,8 @@ func (c *Cluster) Shutdown() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	for _, ch := range c.waiters {
-		close(ch)
+	for _, ev := range c.waiters {
+		ev.Fire()
 	}
 	c.waiters = nil
 }

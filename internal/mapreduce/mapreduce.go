@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"gopilot/internal/core"
+	"gopilot/internal/vclock"
 )
 
 // KeyValue is one record of MapReduce intermediate or output data.
@@ -311,12 +312,12 @@ func Decode(content []byte) ([]KeyValue, error) {
 func Collect(ctx context.Context, mgr *core.Manager, res *Result) ([]KeyValue, error) {
 	var mu sync.Mutex
 	var all []KeyValue
-	var wg sync.WaitGroup
+	wg := vclock.NewGroup(mgr.Clock())
 	errs := make([]error, len(res.OutputIDs))
 	for i, id := range res.OutputIDs {
 		i, id := i, id
 		wg.Add(1)
-		go func() {
+		vclock.Go(mgr.Clock(), func() {
 			defer wg.Done()
 			sites, ok := mgr.Data().Locate(id)
 			if !ok || len(sites) == 0 {
@@ -336,7 +337,7 @@ func Collect(ctx context.Context, mgr *core.Manager, res *Result) ([]KeyValue, e
 			mu.Lock()
 			all = append(all, kvs...)
 			mu.Unlock()
-		}()
+		})
 	}
 	wg.Wait()
 	for _, err := range errs {

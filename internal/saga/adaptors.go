@@ -29,7 +29,7 @@ type LocalService struct {
 	mu     sync.Mutex
 	nextID int
 	closed bool
-	wg     sync.WaitGroup
+	wg     *vclock.Group
 }
 
 // NewLocalService creates a local service with the given core capacity
@@ -44,7 +44,7 @@ func NewLocalService(name string, cores int, clock vclock.Clock) *LocalService {
 	if cores <= 0 {
 		cores = 8
 	}
-	return &LocalService{name: name, cores: cores, clock: clock}
+	return &LocalService{name: name, cores: cores, clock: clock, wg: vclock.NewGroup(clock)}
 }
 
 // URL implements Service.
@@ -71,7 +71,7 @@ func (s *LocalService) Submit(d Description) (Job, error) {
 	s.mu.Unlock()
 
 	now := s.clock.Now()
-	j := newBaseJob(id, now)
+	j := newBaseJob(id, now, s.clock)
 	ctx, cancel := context.WithCancel(context.Background())
 	j.setCancel(cancel)
 
@@ -87,18 +87,19 @@ func (s *LocalService) Submit(d Description) (Job, error) {
 		Granted: now,
 	}
 	s.wg.Add(1)
-	go func() {
+	vclock.Go(s.clock, func() {
 		defer s.wg.Done()
 		defer cancel()
 		j.markRunning(s.clock.Now())
 		if d.Walltime > 0 {
-			var tctx context.Context
 			tctx, tcancel := context.WithCancel(ctx)
-			go func() {
+			s.wg.Add(1)
+			vclock.Go(s.clock, func() {
+				defer s.wg.Done()
 				if s.clock.Sleep(tctx, d.Walltime) {
 					cancel()
 				}
-			}()
+			})
 			defer tcancel()
 		}
 		err := d.Payload(ctx, alloc)
@@ -111,7 +112,7 @@ func (s *LocalService) Submit(d Description) (Job, error) {
 		default:
 			j.finish(Done, nil, end)
 		}
-	}()
+	})
 	return j, nil
 }
 
@@ -168,7 +169,7 @@ func (s *HPCService) Submit(d Description) (Job, error) {
 	nodes := (cores + cpn - 1) / cpn
 
 	now := s.clock.Now()
-	j := newBaseJob("", now)
+	j := newBaseJob("", now, s.clock)
 
 	bj, err := s.cluster.Submit(hpc.JobSpec{
 		Name:     d.Name,
@@ -184,8 +185,8 @@ func (s *HPCService) Submit(d Description) (Job, error) {
 	}
 	j.id = bj.ID()
 	j.setCancel(func() { s.cluster.Cancel(bj) })
-	go func() {
-		<-bj.Done()
+	vclock.Go(s.clock, func() {
+		bj.Wait(context.Background())
 		end := s.clock.Now()
 		switch bj.State() {
 		case hpc.Completed:
@@ -197,7 +198,7 @@ func (s *HPCService) Submit(d Description) (Job, error) {
 		default:
 			j.finish(Failed, bj.Err(), end)
 		}
-	}()
+	})
 	return j, nil
 }
 
@@ -255,43 +256,48 @@ func (s *HTCService) Submit(d Description) (Job, error) {
 	s.mu.Unlock()
 
 	now := s.clock.Now()
-	j := newBaseJob(id, now)
+	j := newBaseJob(id, now, s.clock)
 	ctx, cancel := context.WithCancel(context.Background())
 	j.setCancel(cancel)
 
-	var (
-		arrivals = make(chan string, slots)
-		release  = make(chan struct{})
-		lost     = make(chan error, slots)
-		glideins = make([]*htc.Job, 0, slots)
-	)
-	// Submit one glidein per requested slot.
+	// Shared coalescence state: glidein payloads record arrivals and losses
+	// here and nudge the coalescer through the notifier; the release event
+	// lets them surrender their slots once the aggregate payload ends.
+	st := &glideinSet{
+		changed: vclock.NewNotifier(s.clock),
+		release: vclock.NewEvent(s.clock),
+	}
+	glideins := make([]*htc.Job, 0, slots)
 	for i := 0; i < slots; i++ {
 		gj, err := s.pool.Submit(htc.JobSpec{
 			Name:    fmt.Sprintf("%s.glidein%d", d.Name, i),
 			Runtime: d.Walltime,
 			Payload: func(gctx context.Context, alloc infra.Allocation) error {
-				select {
-				case arrivals <- alloc.Nodes[0]:
-				case <-gctx.Done():
-					return gctx.Err()
-				}
+				st.mu.Lock()
+				st.nodes = append(st.nodes, alloc.Nodes[0])
+				st.mu.Unlock()
+				st.changed.Set()
 				// Hold the slot until the aggregate payload completes.
-				select {
-				case <-release:
+				if st.release.Wait(gctx) {
 					return nil
-				case <-gctx.Done():
-					select {
-					case lost <- gctx.Err():
-					default:
-					}
-					return gctx.Err()
 				}
+				st.mu.Lock()
+				if st.lost == nil {
+					st.lost = gctx.Err()
+				}
+				pcancel := st.pcancel
+				st.mu.Unlock()
+				st.changed.Set()
+				if pcancel != nil {
+					// Mid-run eviction: tear down the aggregate payload.
+					pcancel()
+				}
+				return gctx.Err()
 			},
 		})
 		if err != nil {
 			cancel()
-			close(release)
+			st.release.Fire()
 			for _, g := range glideins {
 				s.pool.Cancel(g)
 			}
@@ -300,26 +306,40 @@ func (s *HTCService) Submit(d Description) (Job, error) {
 		glideins = append(glideins, gj)
 	}
 
-	go func() {
+	vclock.Go(s.clock, func() {
 		defer cancel()
-		nodes := make([]string, 0, slots)
-		for len(nodes) < slots {
-			select {
-			case n := <-arrivals:
-				nodes = append(nodes, n)
-			case err := <-lost:
+		for {
+			st.mu.Lock()
+			arrived, lost := len(st.nodes), st.lost
+			st.mu.Unlock()
+			if lost != nil {
 				// A glidein died before coalescence with no retry left.
-				close(release)
-				j.finish(Failed, fmt.Errorf("saga: glidein lost before start: %w", err), s.clock.Now())
+				st.release.Fire()
+				j.finish(Failed, fmt.Errorf("saga: glidein lost before start: %w", lost), s.clock.Now())
 				return
-			case <-ctx.Done():
-				close(release)
+			}
+			if arrived >= slots {
+				break
+			}
+			if !st.changed.Wait(ctx) {
+				st.release.Fire()
 				j.finish(Canceled, ctx.Err(), s.clock.Now())
 				return
 			}
 		}
 		start := s.clock.Now()
 		j.markRunning(start)
+		st.mu.Lock()
+		nodes := append([]string(nil), st.nodes[:slots]...)
+		pctx, pcancel := context.WithCancel(ctx)
+		st.pcancel = pcancel
+		// An eviction may have landed after coalescence but before pcancel
+		// was published; the glidein saw nil then, so tear down here.
+		evictedEarly := st.lost
+		st.mu.Unlock()
+		if evictedEarly != nil {
+			pcancel()
+		}
 		alloc := infra.Allocation{
 			ID:      id,
 			Site:    s.Site(),
@@ -327,21 +347,12 @@ func (s *HTCService) Submit(d Description) (Job, error) {
 			Nodes:   nodes,
 			Granted: start,
 		}
-		// Cancel the payload if any held slot is evicted mid-run.
-		pctx, pcancel := context.WithCancel(ctx)
-		var evictErr error
-		var once sync.Once
-		go func() {
-			select {
-			case err := <-lost:
-				once.Do(func() { evictErr = err })
-				pcancel()
-			case <-pctx.Done():
-			}
-		}()
 		err := d.Payload(pctx, alloc)
 		pcancel()
-		close(release)
+		st.release.Fire()
+		st.mu.Lock()
+		evictErr := st.lost
+		st.mu.Unlock()
 		end := s.clock.Now()
 		switch {
 		case evictErr != nil:
@@ -353,8 +364,20 @@ func (s *HTCService) Submit(d Description) (Job, error) {
 		default:
 			j.finish(Done, nil, end)
 		}
-	}()
+	})
 	return j, nil
+}
+
+// glideinSet is the coalescence scratchpad shared between an HTC job's
+// glidein payloads and its coalescer goroutine.
+type glideinSet struct {
+	changed *vclock.Notifier
+	release *vclock.Event
+
+	mu      sync.Mutex
+	nodes   []string
+	lost    error
+	pcancel context.CancelFunc
 }
 
 // Close implements Service.
@@ -419,11 +442,11 @@ func (s *CloudService) Submit(d Description) (Job, error) {
 	s.mu.Unlock()
 
 	now := s.clock.Now()
-	j := newBaseJob(id, now)
+	j := newBaseJob(id, now, s.clock)
 	ctx, cancel := context.WithCancel(context.Background())
 	j.setCancel(cancel)
 
-	go func() {
+	vclock.Go(s.clock, func() {
 		defer cancel()
 		vms, err := s.provider.Provision(ctx, n, vt.Name)
 		if err != nil {
@@ -435,11 +458,11 @@ func (s *CloudService) Submit(d Description) (Job, error) {
 		j.markRunning(start)
 		if d.Walltime > 0 {
 			wctx, wcancel := context.WithCancel(ctx)
-			go func() {
+			vclock.Go(s.clock, func() {
 				if s.clock.Sleep(wctx, d.Walltime) {
 					cancel()
 				}
-			}()
+			})
 			defer wcancel()
 		}
 		err = d.Payload(ctx, s.provider.Allocation(id, vms))
@@ -452,7 +475,7 @@ func (s *CloudService) Submit(d Description) (Job, error) {
 		default:
 			j.finish(Done, nil, end)
 		}
-	}()
+	})
 	return j, nil
 }
 
@@ -519,11 +542,11 @@ func (s *YarnService) Submit(d Description) (Job, error) {
 	s.mu.Unlock()
 
 	now := s.clock.Now()
-	j := newBaseJob(id, now)
+	j := newBaseJob(id, now, s.clock)
 	ctx, cancel := context.WithCancel(context.Background())
 	j.setCancel(cancel)
 
-	go func() {
+	vclock.Go(s.clock, func() {
 		defer cancel()
 		containers, err := s.cluster.RequestContainers(ctx, n, per)
 		if err != nil {
@@ -543,7 +566,7 @@ func (s *YarnService) Submit(d Description) (Job, error) {
 		default:
 			j.finish(Done, nil, end)
 		}
-	}()
+	})
 	return j, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gopilot/internal/infra"
+	"gopilot/internal/vclock"
 )
 
 // JobState is the unified job state model (paper Fig. 4's P* lifecycle is a
@@ -117,11 +118,11 @@ type baseJob struct {
 	ended     time.Time
 	cancelFn  func()
 
-	done chan struct{}
+	done *vclock.Event
 }
 
-func newBaseJob(id string, submitted time.Time) *baseJob {
-	return &baseJob{id: id, state: Pending, submitted: submitted, done: make(chan struct{})}
+func newBaseJob(id string, submitted time.Time, clock vclock.Clock) *baseJob {
+	return &baseJob{id: id, state: Pending, submitted: submitted, done: vclock.NewEvent(clock)}
 }
 
 func (j *baseJob) ID() string { return j.id }
@@ -138,15 +139,13 @@ func (j *baseJob) Err() error {
 	return j.err
 }
 
-func (j *baseJob) Done() <-chan struct{} { return j.done }
+func (j *baseJob) Done() <-chan struct{} { return j.done.Done() }
 
 func (j *baseJob) Wait(ctx context.Context) (JobState, error) {
-	select {
-	case <-j.done:
+	if j.done.Wait(ctx) {
 		return j.State(), j.Err()
-	case <-ctx.Done():
-		return j.State(), ctx.Err()
 	}
+	return j.State(), ctx.Err()
 }
 
 func (j *baseJob) Cancel() {
@@ -197,7 +196,7 @@ func (j *baseJob) finish(s JobState, err error, t time.Time) {
 	j.err = err
 	j.ended = t
 	j.mu.Unlock()
-	close(j.done)
+	j.done.Fire()
 }
 
 // setCancel installs the cancellation hook.

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"time"
 
@@ -64,7 +65,7 @@ type partition struct {
 	mu       sync.Mutex
 	msgs     []Message
 	nextFree time.Time // modeled time the partition finishes current appends
-	waiters  []chan struct{}
+	waiters  []*vclock.Event
 }
 
 // ErrUnknownTopic is returned for operations on absent topics.
@@ -181,10 +182,17 @@ func (b *Broker) PublishBatch(ctx context.Context, topicName string, kvs [][2][]
 
 	// Partitions absorb their sub-batches in parallel; the producer blocks
 	// until the slowest partition has caught up (one sleep, not one per
-	// partition).
+	// partition). Partitions are visited in index order: byPart is a map,
+	// and consumer wake-up order must not depend on map iteration.
+	parts := make([]int, 0, len(byPart))
+	for p := range byPart {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
 	out := make([]Message, 0, len(kvs))
 	var latest time.Time
-	for p, batch := range byPart {
+	for _, p := range parts {
+		batch := byPart[p]
 		part := t.partitions[p]
 		busy := time.Duration(len(batch)) * b.cfg.AppendCost
 
@@ -214,7 +222,7 @@ func (b *Broker) PublishBatch(ctx context.Context, topicName string, kvs [][2][]
 		part.waiters = nil
 		part.mu.Unlock()
 		for _, w := range waiters {
-			close(w)
+			w.Fire()
 		}
 	}
 	if wait := latest.Sub(now); wait > 0 {
@@ -254,23 +262,77 @@ func (b *Broker) Fetch(ctx context.Context, topicName string, partitionIdx int, 
 			part.mu.Unlock()
 			return batch, nil
 		}
-		w := make(chan struct{})
+		w := vclock.NewEvent(b.cfg.Clock)
 		part.waiters = append(part.waiters, w)
 		part.mu.Unlock()
-		select {
-		case <-w:
-			// Either new data arrived or the broker closed; a closed broker
-			// will never produce data, so surface that instead of spinning.
-			b.mu.Lock()
-			closed := b.closed
-			b.mu.Unlock()
-			if closed {
-				return nil, ErrBrokerClosed
-			}
-		case <-ctx.Done():
+		if !w.Wait(ctx) {
 			return nil, ctx.Err()
 		}
+		// Either new data arrived or the broker closed; a closed broker
+		// will never produce data, so surface that instead of spinning.
+		b.mu.Lock()
+		closed := b.closed
+		b.mu.Unlock()
+		if closed {
+			return nil, ErrBrokerClosed
+		}
 	}
+}
+
+// WaitAny parks until at least one of the given partitions has data past
+// its offset (offsets[i] pairs with parts[i]), the broker closes, or ctx
+// ends. It returns true when data may be available — consumers owning
+// several partitions long-poll through this instead of spinning with
+// wall-clock timeouts, which keeps virtual-time runs deterministic.
+func (b *Broker) WaitAny(ctx context.Context, topicName string, parts []int, offsets []int64) (bool, error) {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return false, err
+	}
+	if len(parts) == 0 {
+		return false, errors.New("streaming: WaitAny needs at least one partition")
+	}
+	if len(offsets) != len(parts) {
+		return false, fmt.Errorf("streaming: WaitAny got %d offsets for %d partitions", len(offsets), len(parts))
+	}
+	for _, pi := range parts {
+		if pi < 0 || pi >= len(t.partitions) {
+			return false, fmt.Errorf("streaming: partition %d out of range for %q", pi, topicName)
+		}
+	}
+	// Every exit path below fires w, so stale registrations left in other
+	// partitions' waiter lists are recognizably dead and pruned on the
+	// next registration — without that, skewed traffic would grow a
+	// never-published partition's list by one event per wake-up.
+	w := vclock.NewEvent(b.cfg.Clock)
+	for i, pi := range parts {
+		part := t.partitions[pi]
+		part.mu.Lock()
+		if int64(len(part.msgs)) > offsets[i] {
+			part.mu.Unlock()
+			w.Fire()
+			return true, nil
+		}
+		live := part.waiters[:0]
+		for _, old := range part.waiters {
+			if !old.Fired() {
+				live = append(live, old)
+			}
+		}
+		part.waiters = append(live, w)
+		part.mu.Unlock()
+	}
+	if !w.Wait(ctx) {
+		w.Fire()
+		return false, ctx.Err()
+	}
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return false, ErrBrokerClosed
+	}
+	return true, nil
 }
 
 // EndOffset returns the next offset to be written on a partition.
@@ -303,7 +365,7 @@ func (b *Broker) Close() {
 			p.waiters = nil
 			p.mu.Unlock()
 			for _, w := range ws {
-				close(w)
+				w.Fire()
 			}
 		}
 	}

@@ -50,7 +50,8 @@ type Processor struct {
 
 	units []*core.ComputeUnit
 	stop  context.CancelFunc
-	wg    sync.WaitGroup
+
+	progress *vclock.Notifier
 
 	mu        sync.Mutex
 	processed int64
@@ -88,6 +89,7 @@ func StartProcessor(ctx context.Context, mgr *core.Manager, broker *Broker, cfg 
 		broker:    broker,
 		mgr:       mgr,
 		stop:      cancel,
+		progress:  vclock.NewNotifier(broker.Clock()),
 		started:   broker.Clock().Now(),
 		latencies: metrics.NewSeries("e2e_latency_s"),
 	}
@@ -117,12 +119,14 @@ func StartProcessor(ctx context.Context, mgr *core.Manager, broker *Broker, cfg 
 // consume is one worker's loop over its partition set.
 func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []int) error {
 	if len(parts) == 0 {
-		<-ctx.Done()
+		// No partitions assigned: idle until stopped, without holding the
+		// virtual-time executor's token.
+		idle := vclock.NewNotifier(p.broker.Clock())
+		idle.Wait(ctx)
 		return nil
 	}
 	offsets := make([]int64, len(parts))
 	clock := p.broker.Clock()
-	pollRotor := 0
 	for {
 		progressed := false
 		for i, part := range parts {
@@ -143,7 +147,7 @@ func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []in
 			}
 			batch, err := p.broker.Fetch(ctx, p.cfg.Topic, part, offsets[i], p.cfg.BatchSize)
 			if err != nil {
-				if errors.Is(err, ErrBrokerClosed) || errors.Is(err, context.Canceled) {
+				if errors.Is(err, ErrBrokerClosed) || ctx.Err() != nil {
 					return nil
 				}
 				return err
@@ -158,30 +162,16 @@ func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []in
 			progressed = true
 		}
 		if !progressed {
-			// All partitions drained: long-poll one of them with a short
-			// wall-clock timeout so messages landing on the *other* owned
-			// partitions are picked up promptly on the next scan.
-			idx := pollRotor % len(parts)
-			pollRotor++
-			pollCtx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
-			batch, err := p.broker.Fetch(pollCtx, p.cfg.Topic, parts[idx], offsets[idx], p.cfg.BatchSize)
-			cancel()
-			if err != nil {
+			// All partitions drained: park until any owned partition has
+			// data (or the broker closes / the processor stops). This
+			// replaces the old wall-clock poll timeout, whose firing order
+			// was invisible to the virtual-time executor.
+			if _, err := p.broker.WaitAny(ctx, p.cfg.Topic, parts, offsets); err != nil {
 				if errors.Is(err, ErrBrokerClosed) || ctx.Err() != nil {
 					return nil
 				}
-				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-					continue
-				}
 				return err
 			}
-			if err := p.processBatch(ctx, tc, clock, batch); err != nil {
-				if ctx.Err() != nil {
-					return nil
-				}
-				return err
-			}
-			offsets[idx] += int64(len(batch))
 		}
 	}
 }
@@ -210,6 +200,7 @@ func (p *Processor) record(lat time.Duration) {
 	p.mu.Lock()
 	p.processed++
 	p.mu.Unlock()
+	p.progress.Set()
 }
 
 // Processed returns the number of messages handled so far.
@@ -225,10 +216,8 @@ func (p *Processor) WaitProcessed(ctx context.Context, n int64) error {
 		if p.Processed() >= n {
 			return nil
 		}
-		select {
-		case <-ctx.Done():
+		if !p.progress.Wait(ctx) {
 			return ctx.Err()
-		case <-time.After(time.Millisecond):
 		}
 	}
 }
@@ -237,7 +226,7 @@ func (p *Processor) WaitProcessed(ctx context.Context, n int64) error {
 func (p *Processor) Stop() {
 	p.stop()
 	for _, u := range p.units {
-		<-u.Done()
+		u.Wait(context.Background())
 	}
 	p.mu.Lock()
 	p.stopped = p.broker.Clock().Now()

@@ -10,6 +10,7 @@ import (
 	"gopilot/internal/infra"
 	"gopilot/internal/infra/serverless"
 	"gopilot/internal/metrics"
+	"gopilot/internal/vclock"
 )
 
 // ServerlessConfig describes a FaaS-backed stream processor: the
@@ -42,7 +43,9 @@ type ServerlessProcessor struct {
 	platform *serverless.Platform
 
 	stop context.CancelFunc
-	wg   sync.WaitGroup
+	wg   *vclock.Group
+
+	progress *vclock.Notifier
 
 	mu        sync.Mutex
 	processed int64
@@ -72,15 +75,18 @@ func StartServerless(ctx context.Context, platform *serverless.Platform, broker 
 		broker:    broker,
 		platform:  platform,
 		stop:      cancel,
+		wg:        vclock.NewGroup(broker.Clock()),
+		progress:  vclock.NewNotifier(broker.Clock()),
 		started:   broker.Clock().Now(),
 		latencies: metrics.NewSeries("faas_e2e_latency_s"),
 	}
 	for part := 0; part < nparts; part++ {
+		part := part
 		p.wg.Add(1)
-		go func(part int) {
+		vclock.Go(broker.Clock(), func() {
 			defer p.wg.Done()
 			p.dispatch(runCtx, part)
-		}(part)
+		})
 	}
 	return p, nil
 }
@@ -93,15 +99,13 @@ func (p *ServerlessProcessor) dispatch(ctx context.Context, part int) {
 		if ctx.Err() != nil {
 			return
 		}
-		pollCtx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
-		batch, err := p.broker.Fetch(pollCtx, p.cfg.Topic, part, offset, p.cfg.BatchSize)
-		cancel()
+		// Fetch long-polls through the broker's clock-aware wait; each
+		// dispatcher owns exactly one partition, so blocking here is the
+		// per-shard ordering a real event source mapping provides.
+		batch, err := p.broker.Fetch(ctx, p.cfg.Topic, part, offset, p.cfg.BatchSize)
 		if err != nil {
 			if errors.Is(err, ErrBrokerClosed) || ctx.Err() != nil {
 				return
-			}
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				continue
 			}
 			return
 		}
@@ -137,6 +141,7 @@ func (p *ServerlessProcessor) dispatch(ctx context.Context, part int) {
 			p.processed++
 		}
 		p.mu.Unlock()
+		p.progress.Set()
 		offset += int64(len(batch))
 	}
 }
@@ -154,10 +159,8 @@ func (p *ServerlessProcessor) WaitProcessed(ctx context.Context, n int64) error 
 		if p.Processed() >= n {
 			return nil
 		}
-		select {
-		case <-ctx.Done():
+		if !p.progress.Wait(ctx) {
 			return ctx.Err()
-		case <-time.After(time.Millisecond):
 		}
 	}
 }

@@ -5,12 +5,16 @@
 //
 // All *modeled* latencies in the simulated infrastructures (batch queue
 // waits, VM boot times, data transfers, task service times) are expressed in
-// modeled time and slept through a Clock. Three implementations exist:
+// modeled time and slept through a Clock. Four implementations exist:
 //
 //   - Real: modeled time == wall time (for demos running live).
 //   - Scaled: modeled time divided by a factor before sleeping. A factor of
 //     1000 makes one modeled second cost one wall millisecond.
 //   - Manual: a deterministic test clock advanced explicitly.
+//   - Virtual: a conservative virtual-time executor (virtual.go) that
+//     advances to the earliest sleeper deadline whenever all registered
+//     goroutines are quiescent — modeled sleeps cost zero wall time and
+//     same-seed runs are bit-reproducible.
 //
 // Experiment reports always quote modeled durations, so results read like
 // the paper's (seconds and minutes, not microseconds).
@@ -71,6 +75,11 @@ type Scaled struct {
 	start  time.Time // wall time at construction
 }
 
+// Epoch is the fixed modeled epoch shared by Scaled and (by convention)
+// Virtual clocks, so timestamps agree across clock modes and runs. It is
+// the arXiv v2 date of the paper.
+var Epoch = time.Date(2020, 3, 25, 0, 0, 0, 0, time.UTC)
+
 // NewScaled creates a scaled clock. factor must be >= 1; the modeled epoch
 // is fixed for reproducible timestamps across runs.
 func NewScaled(factor float64) *Scaled {
@@ -79,7 +88,7 @@ func NewScaled(factor float64) *Scaled {
 	}
 	return &Scaled{
 		factor: factor,
-		epoch:  time.Date(2020, 3, 25, 0, 0, 0, 0, time.UTC), // arXiv v2 date of the paper
+		epoch:  Epoch,
 		start:  time.Now(),
 	}
 }
@@ -96,15 +105,18 @@ func (c *Scaled) Now() time.Time {
 // Since implements Clock.
 func (c *Scaled) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
 
-// Sleep implements Clock. Sub-wall-resolution sleeps still yield the
-// scheduler so ordering remains plausible.
+// Sleep implements Clock. The wall duration is the modeled duration
+// divided by the factor, not floored: a 1µs floor here used to inflate
+// dense sub-resolution modeled sleeps by up to 1000× at high factors,
+// skewing short-task exhibits. Sub-nanosecond remainders round to a 1ns
+// timer, which still yields the scheduler so ordering remains plausible.
 func (c *Scaled) Sleep(ctx context.Context, d time.Duration) bool {
 	if d <= 0 {
 		return ctx.Err() == nil
 	}
 	wall := time.Duration(float64(d) / c.factor)
 	if wall <= 0 {
-		wall = time.Microsecond
+		wall = time.Nanosecond
 	}
 	t := time.NewTimer(wall)
 	defer t.Stop()

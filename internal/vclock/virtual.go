@@ -1,0 +1,401 @@
+package vclock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Virtual is a conservative virtual-time executor: a Clock whose modeled
+// time advances to the earliest sleeper deadline whenever every registered
+// goroutine is quiescent (blocked in Sleep or parked in a clock-aware
+// primitive), so modeled sleeps cost zero wall time.
+//
+// The executor is cooperative and single-runner: at most one registered
+// participant executes at a time, holding an implicit execution token.
+// The token is released when the holder sleeps, parks (Notifier, Event,
+// Group, Sem — see primitives.go), blocks (Block/Unblock) or exits, and is
+// handed to the next runnable participant in FIFO order; when no
+// participant is runnable, time jumps to the earliest sleeper's deadline
+// and that sleeper runs. Ties on deadline wake in Sleep-call order. This
+// serialization makes a same-seed run bit-reproducible: every Now() reads
+// the same modeled instant in every run, and every scheduling decision
+// happens in the same order.
+//
+// Context cancellation is delivered through the scheduler: every Sleep and
+// primitive Wait registers its context, and before the executor advances
+// modeled time (or declares the world stalled) it sweeps the wait lists
+// and makes every waiter with a canceled context runnable at the *current*
+// instant. A cancellation issued by a participant therefore takes effect
+// at the modeled time it was issued — never after a spurious time jump —
+// which keeps teardown paths (walltime kills, evictions, processor stops)
+// deterministic. Cancellations arriving from outside the scheduled world
+// (a wall-clock context timeout on a hung run) are picked up by the same
+// sweep, raced only by their nature.
+//
+// Participation contract:
+//
+//   - Every goroutine that touches the clock (or state shared with clock
+//     users) must be a participant: spawned via Go, or registered via
+//     Adopt (the experiment driver does this) and deregistered via Leave.
+//   - Participants must not block on bare channels/sync primitives fed by
+//     other participants; they park through Sleep or the clock-aware
+//     primitives instead. A bare block holds the token and stalls the
+//     world (a real deadlock, surfaced by the caller's context timeout).
+//   - Block/Unblock is the escape hatch for waiting on *external*
+//     (non-participant) work; between the two calls the goroutine is
+//     invisible to the scheduler, so signals from fellow participants must
+//     not be awaited this way (the world may advance past the signal).
+type Virtual struct {
+	mu           sync.Mutex
+	now          time.Time
+	seq          uint64
+	hasCurrent   bool
+	runq         []*parker
+	sleepers     []*parker
+	parked       []*parker
+	blocked      int
+	participants int
+	stalls       uint64
+}
+
+// grant is a one-shot execution-token handoff channel (buffered so the
+// granter never blocks).
+type grant chan struct{}
+
+// parker is one goroutine's registration in a wait list: the run queue, the
+// sleeper list (deadline set) or the parked list (waiting on a primitive).
+// A parker is claimed exactly once — by its primitive's signal, by the
+// scheduler's deadline wake, or by the cancellation sweep.
+type parker struct {
+	g        grant
+	ctx      context.Context // nil: not cancelable
+	deadline time.Time       // zero: not sleeping
+	seq      uint64
+	claimed  bool
+	canceled bool
+}
+
+// NewVirtual creates a virtual-time executor starting at the given modeled
+// time. The calling goroutine is NOT registered; call Adopt (or spawn all
+// work via Go) before touching the clock.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (c *Virtual) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since implements Clock.
+func (c *Virtual) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// Sleep implements Clock: the calling participant parks until modeled time
+// reaches now+d, which costs no wall time. Returns false if ctx was
+// canceled first.
+func (c *Virtual) Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	c.mu.Lock()
+	if !c.hasCurrent {
+		c.mu.Unlock()
+		panic("vclock: Sleep on Virtual clock from an unregistered goroutine (use Go or Adopt)")
+	}
+	c.seq++
+	r := &parker{g: make(grant, 1), ctx: ctx, deadline: c.now.Add(d), seq: c.seq}
+	c.sleepers = append(c.sleepers, r)
+	c.hasCurrent = false
+	c.scheduleLocked()
+	c.mu.Unlock()
+	return c.await(r)
+}
+
+// await blocks until r's grant arrives, nudging the scheduler if r's
+// context fires first (external cancellations reach a stalled world this
+// way; participant-issued ones are claimed by the scheduler's own sweep).
+// It reports whether the wake-up was a signal (true) or a cancellation.
+func (c *Virtual) await(r *parker) bool {
+	if r.ctx == nil {
+		<-r.g
+	} else {
+		select {
+		case <-r.g:
+		case <-r.ctx.Done():
+			c.nudge()
+			<-r.g
+		}
+	}
+	// r.claimed was set before the grant was sent; the channel receive
+	// orders the read of r.canceled after it.
+	return !r.canceled
+}
+
+// Go spawns fn as a registered participant. It may be called from inside
+// or outside the scheduled world; fn starts once the scheduler hands it
+// the execution token.
+func (c *Virtual) Go(fn func()) {
+	r := &parker{g: make(grant, 1)}
+	c.mu.Lock()
+	c.participants++
+	c.runq = append(c.runq, r)
+	c.scheduleLocked()
+	c.mu.Unlock()
+	go func() {
+		<-r.g
+		defer c.exit()
+		fn()
+	}()
+}
+
+// Adopt registers the calling goroutine as a participant and blocks until
+// it holds the execution token. Experiment drivers call this once, before
+// interacting with any component on the clock, and pair it with Leave.
+func (c *Virtual) Adopt() {
+	r := &parker{g: make(grant, 1)}
+	c.mu.Lock()
+	c.participants++
+	c.runq = append(c.runq, r)
+	c.scheduleLocked()
+	c.mu.Unlock()
+	<-r.g
+}
+
+// Leave deregisters the calling participant (the inverse of Adopt) and
+// releases the execution token.
+func (c *Virtual) Leave() { c.exit() }
+
+// Block marks the calling participant as waiting on something external to
+// the scheduled world and releases the execution token. It must be paired
+// with Unblock. See the participation contract above for when this is
+// (and is not) safe.
+func (c *Virtual) Block() {
+	c.mu.Lock()
+	if !c.hasCurrent {
+		c.mu.Unlock()
+		panic("vclock: Block on Virtual clock from an unregistered goroutine")
+	}
+	c.blocked++
+	c.hasCurrent = false
+	c.scheduleLocked()
+	c.mu.Unlock()
+}
+
+// Unblock re-enters the scheduled world after Block, waiting for the
+// execution token.
+func (c *Virtual) Unblock() {
+	r := &parker{g: make(grant, 1)}
+	c.mu.Lock()
+	c.blocked--
+	c.runq = append(c.runq, r)
+	c.scheduleLocked()
+	c.mu.Unlock()
+	<-r.g
+}
+
+// Participants returns the number of registered participant goroutines.
+func (c *Virtual) Participants() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.participants
+}
+
+// PendingSleepers reports how many participants are blocked in Sleep.
+func (c *Virtual) PendingSleepers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sleepers)
+}
+
+// Stalls counts the times the scheduler found participants registered but
+// nothing runnable and nothing sleeping — i.e. everyone parked waiting for
+// an external signal. A rising count with no external waker in sight is a
+// deadlock (see DESIGN.md, "Deadlock versus starvation").
+func (c *Virtual) Stalls() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stalls
+}
+
+// exit removes the current participant from the world.
+func (c *Virtual) exit() {
+	c.mu.Lock()
+	if !c.hasCurrent {
+		c.mu.Unlock()
+		panic("vclock: participant exit without holding the execution token")
+	}
+	c.participants--
+	c.hasCurrent = false
+	c.scheduleLocked()
+	c.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Primitive support (used by primitives.go)
+// ---------------------------------------------------------------------------
+
+// newParker allocates a wait registration for the current goroutine; the
+// caller stores it in a primitive's waiter list, then calls park.
+func (c *Virtual) newParker(ctx context.Context) *parker {
+	c.mu.Lock()
+	c.seq++
+	r := &parker{g: make(grant, 1), ctx: ctx, seq: c.seq}
+	c.mu.Unlock()
+	return r
+}
+
+// park releases the token on behalf of the current participant whose
+// registration r is held by a primitive. The caller then awaits r.
+func (c *Virtual) park(r *parker) {
+	c.mu.Lock()
+	if !c.hasCurrent {
+		c.mu.Unlock()
+		panic("vclock: wait on Virtual-clock primitive from an unregistered goroutine (use Go or Adopt)")
+	}
+	if !r.claimed {
+		// A signal from outside the scheduled world may land between the
+		// primitive registering r and this park; r is then already claimed
+		// and queued runnable, and must not enter the parked list.
+		c.parked = append(c.parked, r)
+	}
+	c.hasCurrent = false
+	c.scheduleLocked()
+	c.mu.Unlock()
+}
+
+// wake makes a parked waiter runnable after its primitive signaled it; the
+// waker keeps running, so this never blocks. It reports whether the signal
+// claimed the waiter (false: already canceled in the meantime).
+func (c *Virtual) wake(r *parker) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.claimed {
+		return false
+	}
+	r.claimed = true
+	removeParker(&c.parked, r)
+	c.runq = append(c.runq, r)
+	c.scheduleLocked()
+	return true
+}
+
+// nudge asks the scheduler to re-run its cancellation sweep if the world
+// is currently idle. Called from await when a context fires while its
+// goroutine is parked: if a participant holds the token the next natural
+// schedule pass will sweep (deterministically); if the world is stalled
+// this recovers liveness.
+func (c *Virtual) nudge() {
+	c.mu.Lock()
+	if !c.hasCurrent {
+		c.scheduleLocked()
+	}
+	c.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+// scheduleLocked hands the execution token to the next runnable
+// participant; with none runnable it sweeps canceled waiters, then
+// advances modeled time to the earliest sleeper. Caller holds c.mu.
+func (c *Virtual) scheduleLocked() {
+	if c.hasCurrent {
+		return
+	}
+	if len(c.runq) == 0 {
+		// Before letting time move (or stalling), deliver pending
+		// cancellations at the current instant, in registration order.
+		c.sweepCanceledLocked()
+	}
+	if len(c.runq) > 0 {
+		r := c.runq[0]
+		c.runq = c.runq[1:]
+		c.hasCurrent = true
+		r.g <- struct{}{}
+		return
+	}
+	if len(c.sleepers) > 0 {
+		best := 0
+		for i, s := range c.sleepers[1:] {
+			b := c.sleepers[best]
+			if s.deadline.Before(b.deadline) ||
+				(s.deadline.Equal(b.deadline) && s.seq < b.seq) {
+				best = i + 1
+			}
+		}
+		s := c.sleepers[best]
+		c.sleepers = append(c.sleepers[:best], c.sleepers[best+1:]...)
+		if s.deadline.After(c.now) {
+			c.now = s.deadline
+		}
+		s.claimed = true
+		c.hasCurrent = true
+		s.g <- struct{}{}
+		return
+	}
+	if c.participants > 0 {
+		// Everyone is parked and no modeled work is pending: the world can
+		// only resume on an external signal (Adopt, Unblock, a primitive
+		// fired from outside, or a context cancellation).
+		c.stalls++
+	}
+}
+
+// sweepCanceledLocked claims every sleeper and parked waiter whose context
+// is already canceled, making them runnable (in seq order) at the current
+// modeled time. Caller holds c.mu.
+func (c *Virtual) sweepCanceledLocked() {
+	var due []*parker
+	keep := c.sleepers[:0]
+	for _, r := range c.sleepers {
+		switch {
+		case r.claimed:
+			// Already woken through another path; never grant twice.
+		case r.ctx != nil && r.ctx.Err() != nil:
+			due = append(due, r)
+		default:
+			keep = append(keep, r)
+		}
+	}
+	c.sleepers = keep
+	keepP := c.parked[:0]
+	for _, r := range c.parked {
+		switch {
+		case r.claimed:
+		case r.ctx != nil && r.ctx.Err() != nil:
+			due = append(due, r)
+		default:
+			keepP = append(keepP, r)
+		}
+	}
+	c.parked = keepP
+	if len(due) == 0 {
+		return
+	}
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && due[j].seq < due[j-1].seq; j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	for _, r := range due {
+		r.claimed = true
+		r.canceled = true
+		c.runq = append(c.runq, r)
+	}
+}
+
+func removeParker(ws *[]*parker, r *parker) bool {
+	for i, x := range *ws {
+		if x == r {
+			*ws = append((*ws)[:i], (*ws)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+var _ Clock = (*Virtual)(nil)

@@ -18,9 +18,10 @@ import (
 	"gopilot/internal/perfmodel"
 )
 
-// smokeScale compresses modeled time 8000×: a 10-minute modeled
-// experiment finishes in tens of wall milliseconds. Frame counts are
-// trimmed for the streaming exhibits for the same reason.
+// smokeScale is the scaled-clock compression factor; on the default
+// virtual clock it is inert (modeled sleeps cost zero wall time
+// regardless). Frame counts are trimmed for the streaming exhibits to
+// bound real CPU work.
 const smokeScale = 8000
 
 func tableOnly(tbl *metrics.Table, _ []string, err error) (*metrics.Table, error) {
@@ -63,12 +64,11 @@ func TestSmokeAllExhibits(t *testing.T) {
 	}
 }
 
-// TestSameSeedIdenticalModelOutput is the whole-pipeline determinism
-// check the methodology demands: the discrete-event performance models —
-// the purely virtual-time half of the evaluation — must emit *identical*
-// output across two runs from the same seed. (The concurrent-runtime
-// exhibits above measure scaled wall time, so their timings legitimately
-// jitter; the modeled results may not.)
+// TestSameSeedIdenticalModelOutput is the determinism check for the
+// discrete-event performance models (sim.Engine). The concurrent-runtime
+// exhibits have the matching — and stronger — end-to-end check in
+// internal/experiments/determinism_test.go, now that they run on the
+// vclock.Virtual executor.
 func TestSameSeedIdenticalModelOutput(t *testing.T) {
 	run := func() string {
 		direct := perfmodel.DirectSubmissionSim(256, 32, time.Minute, dist.NewLogNormal(600, 1.0, 42))
