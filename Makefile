@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-compare ci
+.PHONY: build test race vet bench bench-compare seed-audit ci
 
 build:
 	$(GO) build ./...
@@ -24,4 +24,9 @@ bench:
 bench-compare:
 	bash -o pipefail -c "$(GO) test -bench=. -benchtime=3x -run '^$$' . | $(GO) run ./cmd/benchcompare"
 
-ci: build vet test race bench-compare
+# Seeding-spine lint: no math/rand and no raw integer seeds outside
+# internal/dist; stream roots only where experiments are born.
+seed-audit:
+	bash tools/seed-audit.sh
+
+ci: build vet seed-audit test race bench-compare

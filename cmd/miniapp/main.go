@@ -86,7 +86,7 @@ func main() {
 				w := miniapp.TaskWorkload{
 					Name:     "sweep",
 					Count:    int(cfg["tasks"]),
-					Duration: dist.NewLogNormal(20, 0.3, int64(33+rep)),
+					Duration: dist.LogNormalFrom(tb.Root.Named("miniapp/task-duration").SplitLabel(uint64(rep)), 20, 0.3),
 				}
 				runCtx, cancel := context.WithTimeout(ctx, 5*time.Minute)
 				defer cancel()

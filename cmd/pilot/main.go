@@ -75,7 +75,7 @@ func main() {
 	w := miniapp.TaskWorkload{
 		Name:     "cli",
 		Count:    *tasks,
-		Duration: dist.NewNormal(*taskSeconds, *taskSeconds**taskCV, *seed),
+		Duration: dist.NormalFrom(tb.Root.Named("miniapp/task-duration"), *taskSeconds, *taskSeconds**taskCV),
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()

@@ -13,6 +13,7 @@ import (
 
 	"gopilot/internal/apps/kmeans"
 	"gopilot/internal/core"
+	"gopilot/internal/dist"
 	"gopilot/internal/experiments"
 	"gopilot/internal/memory"
 	"gopilot/internal/metrics"
@@ -22,7 +23,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	dataset := kmeans.Generate(8000, 5, 3, 1.0, 42)
+	// The dataset is shared input across both modes' testbeds; it hangs
+	// off the example's own root.
+	dataset := kmeans.Generate(8000, 5, 3, 1.0, dist.NewStream(42).Named("dataset"))
 	t := metrics.NewTable("iterative K-Means: Pilot-Data vs Pilot-Memory",
 		"mode", "iterations", "iter1", "later_mean", "total", "inertia")
 
@@ -38,7 +41,7 @@ func main() {
 			K: 5, MaxIter: 6, Tol: 0, Partitions: 8,
 			Mode: mode, Site: "localhost",
 			BytesPerPoint: 1 << 17, // ≈128 MB partitions in the transfer model
-			Seed:          21,
+			Stream:        tb.Root.Named("app/kmeans"),
 		}
 		if mode == kmeans.ModeMemory {
 			cfg.Cache = memory.NewCache(memory.Config{

@@ -44,8 +44,8 @@ func main() {
 	defer cancel()
 
 	// ---------------- genome alignment --------------------------------------
-	ref := genomics.GenerateReference(3000, 5)
-	reads := genomics.SampleReads(ref, 48, 36, 0.03, 6)
+	ref := genomics.GenerateReference(3000, tb.Root.Named("reference"))
+	reads := genomics.SampleReads(ref, 48, 36, 0.03, tb.Root.Named("reads"))
 	chunks := genomics.Chunk(reads, 8)
 	// The reference models a 3 GB file living at stampede.
 	refID, chunkIDs, err := genomics.StageInputs(ctx, tb.Data, "stampede", ref, chunks, 3e9)
@@ -66,7 +66,7 @@ func main() {
 		st.LocalReads, st.RemoteReads+st.Replications, float64(st.BytesMoved)/1e9)
 
 	// ---------------- MapReduce wordcount -----------------------------------
-	corpus := wordcount.GenerateCorpus(8, 2000, 200, 9)
+	corpus := wordcount.GenerateCorpus(8, 2000, 200, tb.Root.Named("corpus"))
 	ids := make([]string, len(corpus))
 	for i, s := range corpus {
 		ids[i] = fmt.Sprintf("wc-%d", i)

@@ -26,12 +26,17 @@ func main() {
 	// One modeled second costs one wall millisecond.
 	clock := vclock.NewScaled(1000)
 
+	// One root seed; every component below gets a named sub-stream.
+	root := dist.NewStream(1)
+
 	// A 16-node batch machine with ~2 minutes of queue wait.
+	hpcStream := root.Named("infra/hpc/stampede")
 	cluster := hpc.New(hpc.Config{
 		Name: "stampede", Nodes: 16, CoresPerNode: 8,
-		QueueWait: dist.NewLogNormal(120, 0.5, 1),
+		QueueWait: dist.LogNormalFrom(hpcStream.Named("queue-wait"), 120, 0.5),
 		Backfill:  true,
 		Clock:     clock,
+		Stream:    hpcStream,
 	})
 	defer cluster.Shutdown()
 

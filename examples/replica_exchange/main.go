@@ -36,10 +36,10 @@ func main() {
 
 	res, err := rexchange.Run(context.Background(), mgr, rexchange.Config{
 		Replicas: replicas, Cycles: cycles,
-		MDTime:       dist.NewNormal(60, 5, 3), // ~1 minute MD phases
+		MDTime:       dist.NormalFrom(tb.Root.Named("app/rexchange/md-time"), 60, 5), // ~1 minute MD phases
 		ExchangeTime: 5 * time.Second,
 		Adaptive:     true, TargetAcceptance: 0.3,
-		Seed: 11,
+		Stream: tb.Root.Named("app/rexchange"),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -78,7 +78,7 @@ func main() {
 	}
 
 	// Stream 600 frames at ~200 frames per modeled second.
-	det := lightsource.NewDetector(24, 24, 0.5, 25, 2, 12)
+	det := lightsource.NewDetector(24, 24, 0.5, 25, 2, tb.Root.Named("detector"))
 	const frames = 600
 	for i := 0; i < frames; i++ {
 		if _, err := broker.Publish(ctx, "detector", nil, lightsource.Encode(det.Next())); err != nil {

@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -41,8 +40,13 @@ type Config struct {
 	SpreadTarget float64
 	// Adaptive enables runtime ensemble resizing.
 	Adaptive bool
-	// Seed drives all stochastic draws.
-	Seed int64
+	// Stream is the run's slot on the experiment's seeding spine. The
+	// driver (truth, observations, analysis, adaptation) draws from its
+	// "driver" child; the m-th ensemble member ever created forecasts
+	// from its "member"/<m> child, so growing or shrinking the ensemble
+	// never shifts surviving members' draws. Defaults to the manager's
+	// "app/enkf" child.
+	Stream *dist.Stream
 }
 
 func (c *Config) withDefaults() Config {
@@ -100,7 +104,7 @@ type Result struct {
 // coupling, with process noise. The linear part has spectral radius
 // 0.92+0.05 < 1, so the system is stable and the filter cannot be saved
 // by divergence of the truth itself.
-func model(x []float64, noise float64, rng *rand.Rand) []float64 {
+func model(x []float64, noise float64, rng *dist.Stream) []float64 {
 	d := len(x)
 	out := make([]float64, d)
 	for i := range out {
@@ -118,20 +122,35 @@ func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
 		return nil, errors.New("enkf: nil manager")
 	}
 	clock := mgr.Clock()
-	master := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Stream == nil {
+		cfg.Stream = mgr.Stream().Named("app/enkf")
+	}
+	master := cfg.Stream.Named("driver")
+	memberRoot := cfg.Stream.Named("member")
 	d := cfg.StateDim
 
-	// Truth and initial ensemble around it.
+	// Truth and initial ensemble around it. Each member ever created gets
+	// the next "member"/<ordinal> stream for its forecasts; ordinals are
+	// never reused, so resizing the ensemble cannot shift the draws of
+	// members that survive it.
+	created := 0
+	mintWalk := func() *dist.Stream {
+		s := memberRoot.SplitLabel(uint64(created))
+		created++
+		return s
+	}
 	truth := make([]float64, d)
 	for i := range truth {
 		truth[i] = master.NormFloat64() * 2
 	}
 	members := make([][]float64, cfg.InitialEnsemble)
+	walks := make([]*dist.Stream, cfg.InitialEnsemble)
 	for m := range members {
 		members[m] = make([]float64, d)
 		for i := range members[m] {
 			members[m][i] = truth[i] + master.NormFloat64()
 		}
+		walks[m] = mintWalk()
 	}
 
 	res := &Result{}
@@ -153,14 +172,13 @@ func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
 		for m := range members {
 			m := m
 			cost := time.Duration(cfg.ForecastTime.Sample() * float64(time.Second))
-			seed := master.Int63()
+			rng := walks[m]
 			u, err := mgr.SubmitUnit(core.UnitDescription{
 				Name: fmt.Sprintf("enkf-c%d-m%d", cycle, m),
 				Run: func(ctx context.Context, tc core.TaskContext) error {
 					if !tc.Sleep(ctx, cost) {
 						return ctx.Err()
 					}
-					rng := rand.New(rand.NewSource(seed))
 					mu.Lock()
 					x := members[m]
 					mu.Unlock()
@@ -211,6 +229,7 @@ func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
 						clone[i] = src[i] + master.NormFloat64()*0.1
 					}
 					members = append(members, clone)
+					walks = append(walks, mintWalk())
 				}
 				res.Resizes++
 			case spread < cfg.SpreadTarget/4 && len(members) > cfg.MinEnsemble:
@@ -219,6 +238,7 @@ func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
 					keep = cfg.MinEnsemble
 				}
 				members = members[:keep]
+				walks = walks[:keep]
 				res.Resizes++
 			}
 		}
@@ -229,7 +249,7 @@ func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
 }
 
 // analyze applies the stochastic EnKF update with H = I and diagonal R.
-func analyze(members [][]float64, obs []float64, obsNoise float64, rng *rand.Rand) {
+func analyze(members [][]float64, obs []float64, obsNoise float64, rng *dist.Stream) {
 	n := len(members)
 	if n < 2 {
 		return

@@ -3,7 +3,6 @@ package enkf
 import (
 	"context"
 	"math"
-	"math/rand"
 	"testing"
 
 	"gopilot/internal/core"
@@ -24,7 +23,7 @@ func newMgr(t *testing.T, cores int) *core.Manager {
 }
 
 func TestAnalyzePullsEnsembleTowardObservation(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := dist.NewStream(1)
 	// Ensemble far from the observation.
 	members := make([][]float64, 32)
 	for i := range members {
@@ -40,7 +39,7 @@ func TestAnalyzePullsEnsembleTowardObservation(t *testing.T) {
 }
 
 func TestAnalyzeShrinksSpread(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := dist.NewStream(2)
 	members := make([][]float64, 64)
 	for i := range members {
 		members[i] = []float64{rng.NormFloat64() * 4}
@@ -55,7 +54,7 @@ func TestAnalyzeShrinksSpread(t *testing.T) {
 
 func TestAnalyzeNoOpForTinyEnsemble(t *testing.T) {
 	members := [][]float64{{5}}
-	analyze(members, []float64{0}, 0.5, rand.New(rand.NewSource(1)))
+	analyze(members, []float64{0}, 0.5, dist.NewStream(1))
 	if members[0][0] != 5 {
 		t.Fatal("singleton ensemble modified")
 	}
@@ -84,7 +83,7 @@ func TestRunTracksTruth(t *testing.T) {
 	mgr := newMgr(t, 16)
 	res, err := Run(context.Background(), mgr, Config{
 		StateDim: 3, InitialEnsemble: 16, Cycles: 6,
-		ForecastTime: dist.Constant(0.5), ObsNoise: 0.3, Seed: 5,
+		ForecastTime: dist.Constant(0.5), ObsNoise: 0.3, Stream: dist.NewStream(5),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -108,7 +107,7 @@ func TestAdaptiveResizesEnsemble(t *testing.T) {
 	res, err := Run(context.Background(), mgr, Config{
 		StateDim: 3, InitialEnsemble: 8, MinEnsemble: 4, MaxEnsemble: 32,
 		Cycles: 6, ForecastTime: dist.Constant(0.2),
-		SpreadTarget: 0.05, Adaptive: true, Seed: 11,
+		SpreadTarget: 0.05, Adaptive: true, Stream: dist.NewStream(11),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +137,7 @@ func TestAdaptiveResizesEnsemble(t *testing.T) {
 func TestNonAdaptiveKeepsSize(t *testing.T) {
 	mgr := newMgr(t, 16)
 	res, err := Run(context.Background(), mgr, Config{
-		InitialEnsemble: 12, Cycles: 3, ForecastTime: dist.Constant(0.2), Seed: 2,
+		InitialEnsemble: 12, Cycles: 3, ForecastTime: dist.Constant(0.2), Stream: dist.NewStream(2),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +153,7 @@ func TestNonAdaptiveKeepsSize(t *testing.T) {
 }
 
 func TestModelIsStable(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := dist.NewStream(3)
 	x := []float64{1, 2, 3}
 	for i := 0; i < 500; i++ {
 		x = model(x, 0.1, rng)

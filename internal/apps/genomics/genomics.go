@@ -12,39 +12,38 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"strings"
 	"sync"
 	"time"
 
 	"gopilot/internal/core"
 	"gopilot/internal/data"
+	"gopilot/internal/dist"
 	"gopilot/internal/infra"
 )
 
 var bases = []byte("ACGT")
 
-// GenerateReference builds a random reference genome of length n.
-func GenerateReference(n int, seed int64) string {
-	rng := rand.New(rand.NewSource(seed))
+// GenerateReference builds a random reference genome of length n,
+// drawing from the generator's stream on the experiment's seeding spine.
+func GenerateReference(n int, s *dist.Stream) string {
 	b := make([]byte, n)
 	for i := range b {
-		b[i] = bases[rng.Intn(4)]
+		b[i] = bases[s.Intn(4)]
 	}
 	return string(b)
 }
 
 // SampleReads draws reads of the given length from the reference, mutating
 // each base with the given rate (substitutions only), as a sequencer would.
-func SampleReads(ref string, count, length int, mutationRate float64, seed int64) []string {
-	rng := rand.New(rand.NewSource(seed))
+func SampleReads(ref string, count, length int, mutationRate float64, s *dist.Stream) []string {
 	out := make([]string, count)
 	for i := range out {
-		start := rng.Intn(len(ref) - length)
+		start := s.Intn(len(ref) - length)
 		read := []byte(ref[start : start+length])
 		for j := range read {
-			if rng.Float64() < mutationRate {
-				read[j] = bases[rng.Intn(4)]
+			if s.Bernoulli(mutationRate) {
+				read[j] = bases[s.Intn(4)]
 			}
 		}
 		out[i] = string(read)

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"gopilot/internal/dist"
+
 	"gopilot/internal/core"
 	"gopilot/internal/data"
 	"gopilot/internal/saga"
@@ -13,7 +15,7 @@ import (
 )
 
 func TestGenerateReference(t *testing.T) {
-	ref := GenerateReference(1000, 1)
+	ref := GenerateReference(1000, dist.NewStream(1))
 	if len(ref) != 1000 {
 		t.Fatalf("len = %d", len(ref))
 	}
@@ -22,14 +24,14 @@ func TestGenerateReference(t *testing.T) {
 			t.Fatalf("bad base %q", c)
 		}
 	}
-	if ref != GenerateReference(1000, 1) {
+	if ref != GenerateReference(1000, dist.NewStream(1)) {
 		t.Fatal("not reproducible")
 	}
 }
 
 func TestSampleReadsComeFromReference(t *testing.T) {
-	ref := GenerateReference(500, 2)
-	reads := SampleReads(ref, 20, 30, 0, 3)
+	ref := GenerateReference(500, dist.NewStream(2))
+	reads := SampleReads(ref, 20, 30, 0, dist.NewStream(3))
 	for _, r := range reads {
 		if len(r) != 30 {
 			t.Fatalf("read length %d", len(r))
@@ -69,7 +71,7 @@ func TestSWScoreSymmetric(t *testing.T) {
 }
 
 func TestAlignReadFindsOrigin(t *testing.T) {
-	ref := GenerateReference(2000, 5)
+	ref := GenerateReference(2000, dist.NewStream(5))
 	read := ref[700:750]
 	score, offset := AlignRead(read, ref)
 	if score != 2*len(read) {
@@ -82,8 +84,8 @@ func TestAlignReadFindsOrigin(t *testing.T) {
 }
 
 func TestMutatedReadsStillAlign(t *testing.T) {
-	ref := GenerateReference(1000, 6)
-	reads := SampleReads(ref, 10, 40, 0.05, 7)
+	ref := GenerateReference(1000, dist.NewStream(6))
+	reads := SampleReads(ref, 10, 40, 0.05, dist.NewStream(7))
 	for _, r := range reads {
 		score, _ := AlignRead(r, ref)
 		// 5% mutations: expect ≥ ~80% of max score.
@@ -115,8 +117,8 @@ func TestDistributedAlignment(t *testing.T) {
 	defer mgr.Close()
 	mgr.SubmitPilot(core.PilotDescription{Resource: "local://siteA", Cores: 4})
 
-	ref := GenerateReference(800, 9)
-	reads := SampleReads(ref, 24, 30, 0.02, 10)
+	ref := GenerateReference(800, dist.NewStream(9))
+	reads := SampleReads(ref, 24, 30, 0.02, dist.NewStream(10))
 	chunks := Chunk(reads, 4)
 	refID, chunkIDs, err := StageInputs(context.Background(), ds, "siteA", ref, chunks, 0)
 	if err != nil {

@@ -14,12 +14,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 	"time"
 
 	"gopilot/internal/core"
 	"gopilot/internal/data"
+	"gopilot/internal/dist"
 	"gopilot/internal/infra"
 	"gopilot/internal/memory"
 )
@@ -34,9 +34,9 @@ type Dataset struct {
 	Dim     int
 }
 
-// Generate draws n points from k Gaussian clusters in dim dimensions.
-func Generate(n, k, dim int, spread float64, seed int64) *Dataset {
-	rng := rand.New(rand.NewSource(seed))
+// Generate draws n points from k Gaussian clusters in dim dimensions,
+// drawing from the generator's stream on the experiment's seeding spine.
+func Generate(n, k, dim int, spread float64, rng *dist.Stream) *Dataset {
 	centers := make([]Point, k)
 	for i := range centers {
 		centers[i] = make(Point, dim)
@@ -141,8 +141,8 @@ func Reduce(prev []Point, sums [][]Point, counts [][]int) []Point {
 
 // Sequential runs Lloyd's algorithm in-process — the reference
 // implementation tests compare the distributed runs against.
-func Sequential(points []Point, k, maxIter int, tol float64, seed int64) (centroids []Point, inertia float64, iters int) {
-	centroids = initCentroids(points, k, seed)
+func Sequential(points []Point, k, maxIter int, tol float64, s *dist.Stream) (centroids []Point, inertia float64, iters int) {
+	centroids = initCentroids(points, k, s)
 	for iters = 1; iters <= maxIter; iters++ {
 		sums, counts, in := Assign(points, centroids)
 		next := Reduce(centroids, [][]Point{sums}, [][]int{counts})
@@ -158,8 +158,7 @@ func Sequential(points []Point, k, maxIter int, tol float64, seed int64) (centro
 	return centroids, inertia, iters
 }
 
-func initCentroids(points []Point, k int, seed int64) []Point {
-	rng := rand.New(rand.NewSource(seed))
+func initCentroids(points []Point, k int, rng *dist.Stream) []Point {
 	out := make([]Point, k)
 	for i := range out {
 		out[i] = append(Point(nil), points[rng.Intn(len(points))]...)
@@ -215,8 +214,10 @@ type Config struct {
 	// transfer costs are realistic even with small real datasets
 	// (default 64 bytes/point).
 	BytesPerPoint int64
-	// Seed initializes centroids reproducibly.
-	Seed int64
+	// Stream is the run's slot on the experiment's seeding spine; it
+	// initializes centroids reproducibly. Defaults to the manager's
+	// "app/kmeans" child.
+	Stream *dist.Stream
 }
 
 // Result reports a distributed run.
@@ -274,7 +275,10 @@ func Run(ctx context.Context, mgr *core.Manager, dataset *Dataset, partIDs []str
 	}
 	clock := mgr.Clock()
 	start := clock.Now()
-	centroids := initCentroids(dataset.Points, cfg.K, cfg.Seed)
+	if cfg.Stream == nil {
+		cfg.Stream = mgr.Stream().Named("app/kmeans")
+	}
+	centroids := initCentroids(dataset.Points, cfg.K, cfg.Stream)
 	res := &Result{}
 
 	bpp := cfg.BytesPerPoint

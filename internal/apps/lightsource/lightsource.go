@@ -11,7 +11,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
-	"math/rand"
+
+	"gopilot/internal/dist"
 )
 
 // Frame is one detector exposure.
@@ -32,12 +33,13 @@ type Detector struct {
 	noise         float64
 	peakAmp       float64
 	peakSigma     float64
-	rng           *rand.Rand
+	rng           *dist.Stream
 	next          uint32
 }
 
-// NewDetector creates a synthetic detector.
-func NewDetector(width, height int, noise, peakAmp, peakSigma float64, seed int64) *Detector {
+// NewDetector creates a synthetic detector drawing noise and peak
+// placement from the given stream on the experiment's seeding spine.
+func NewDetector(width, height int, noise, peakAmp, peakSigma float64, s *dist.Stream) *Detector {
 	if width <= 0 {
 		width = 32
 	}
@@ -56,7 +58,7 @@ func NewDetector(width, height int, noise, peakAmp, peakSigma float64, seed int6
 	return &Detector{
 		width: width, height: height,
 		noise: noise, peakAmp: peakAmp, peakSigma: peakSigma,
-		rng: rand.New(rand.NewSource(seed)),
+		rng: s,
 	}
 }
 

@@ -4,11 +4,13 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"gopilot/internal/dist"
 )
 
 func TestDetectorFramesReproducible(t *testing.T) {
-	d1 := NewDetector(32, 32, 1, 20, 2, 7)
-	d2 := NewDetector(32, 32, 1, 20, 2, 7)
+	d1 := NewDetector(32, 32, 1, 20, 2, dist.NewStream(7))
+	d2 := NewDetector(32, 32, 1, 20, 2, dist.NewStream(7))
 	f1, f2 := d1.Next(), d2.Next()
 	if f1.TruePeakX != f2.TruePeakX || f1.TruePeakY != f2.TruePeakY {
 		t.Fatal("peaks differ for same seed")
@@ -21,7 +23,7 @@ func TestDetectorFramesReproducible(t *testing.T) {
 }
 
 func TestFrameIDsIncrement(t *testing.T) {
-	d := NewDetector(16, 16, 1, 20, 2, 1)
+	d := NewDetector(16, 16, 1, 20, 2, dist.NewStream(1))
 	for i := uint32(0); i < 5; i++ {
 		if f := d.Next(); f.ID != i {
 			t.Fatalf("frame ID = %d, want %d", f.ID, i)
@@ -30,7 +32,7 @@ func TestFrameIDsIncrement(t *testing.T) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	d := NewDetector(24, 16, 1, 20, 2, 3)
+	d := NewDetector(24, 16, 1, 20, 2, dist.NewStream(3))
 	f := d.Next()
 	got, err := Decode(Encode(f))
 	if err != nil {
@@ -53,7 +55,7 @@ func TestDecodeRejectsTruncated(t *testing.T) {
 	if _, err := Decode([]byte{1, 2}); err == nil {
 		t.Error("truncated header accepted")
 	}
-	d := NewDetector(8, 8, 1, 20, 2, 1)
+	d := NewDetector(8, 8, 1, 20, 2, dist.NewStream(1))
 	buf := Encode(d.Next())
 	if _, err := Decode(buf[:len(buf)-5]); err == nil {
 		t.Error("truncated pixels accepted")
@@ -61,7 +63,7 @@ func TestDecodeRejectsTruncated(t *testing.T) {
 }
 
 func TestReconstructFindsPlantedPeak(t *testing.T) {
-	d := NewDetector(48, 48, 0.5, 30, 2, 11)
+	d := NewDetector(48, 48, 0.5, 30, 2, dist.NewStream(11))
 	for i := 0; i < 20; i++ {
 		f := d.Next()
 		r := Reconstruct(f, 3)
@@ -78,7 +80,7 @@ func TestReconstructFindsPlantedPeak(t *testing.T) {
 func TestReconstructPureNoiseRarelyFires(t *testing.T) {
 	// No peak (amplitude ~ noise): with a high threshold the centroid
 	// should either not fire or fire with tiny integrated intensity.
-	d := NewDetector(32, 32, 1, 0.001, 2, 13)
+	d := NewDetector(32, 32, 1, 0.001, 2, dist.NewStream(13))
 	fires := 0
 	for i := 0; i < 20; i++ {
 		f := d.Next()
@@ -103,7 +105,7 @@ func TestEncodeDecodeProperty(t *testing.T) {
 	f := func(w8, h8 uint8, seed int64) bool {
 		w := int(w8%32) + 1
 		h := int(h8%32) + 1
-		d := NewDetector(w, h, 1, 10, 1, seed)
+		d := NewDetector(w, h, 1, 10, 1, dist.NewStream(seed))
 		fr := d.Next()
 		got, err := Decode(Encode(fr))
 		if err != nil {
@@ -117,7 +119,7 @@ func TestEncodeDecodeProperty(t *testing.T) {
 }
 
 func TestReconstructionIntensityPositive(t *testing.T) {
-	d := NewDetector(32, 32, 0.5, 25, 2, 17)
+	d := NewDetector(32, 32, 0.5, 25, 2, dist.NewStream(17))
 	r := Reconstruct(d.Next(), 3)
 	if !r.Found || r.PeakIntensity <= 0 || math.IsNaN(r.PeakIntensity) {
 		t.Fatalf("reconstruction = %+v", r)

@@ -9,7 +9,8 @@ package mdanalysis
 
 import (
 	"math"
-	"math/rand"
+
+	"gopilot/internal/dist"
 )
 
 // Point3 is a 3-D coordinate.
@@ -24,8 +25,7 @@ type Trajectory []Frame
 // GenerateTrajectory random-walks n atoms over f frames (step σ), starting
 // from a compact blob — a synthetic stand-in for an MD trajectory with the
 // same data shape.
-func GenerateTrajectory(atoms, frames int, step float64, seed int64) Trajectory {
-	rng := rand.New(rand.NewSource(seed))
+func GenerateTrajectory(atoms, frames int, step float64, rng *dist.Stream) Trajectory {
 	cur := make(Frame, atoms)
 	for i := range cur {
 		for d := 0; d < 3; d++ {
@@ -197,8 +197,7 @@ func LeafletFinder(f Frame, cutoff float64) [][]int {
 // GenerateBilayer builds a synthetic membrane: two parallel sheets of
 // atoms separated in z, with jitter — the structure LeafletFinder should
 // split into exactly two components.
-func GenerateBilayer(perLeaflet int, gap float64, seed int64) Frame {
-	rng := rand.New(rand.NewSource(seed))
+func GenerateBilayer(perLeaflet int, gap float64, rng *dist.Stream) Frame {
 	out := make(Frame, 0, perLeaflet*2)
 	side := int(math.Ceil(math.Sqrt(float64(perLeaflet))))
 	for leaflet := 0; leaflet < 2; leaflet++ {

@@ -4,10 +4,12 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"gopilot/internal/dist"
 )
 
 func TestGenerateTrajectoryShape(t *testing.T) {
-	tr := GenerateTrajectory(50, 10, 0.5, 1)
+	tr := GenerateTrajectory(50, 10, 0.5, dist.NewStream(1))
 	if len(tr) != 10 {
 		t.Fatalf("frames = %d", len(tr))
 	}
@@ -19,7 +21,7 @@ func TestGenerateTrajectoryShape(t *testing.T) {
 }
 
 func TestHausdorffIdenticalSetsIsZero(t *testing.T) {
-	f := GenerateTrajectory(40, 1, 0.5, 2)[0]
+	f := GenerateTrajectory(40, 1, 0.5, dist.NewStream(2))[0]
 	if d := HausdorffNaive(f, f); d != 0 {
 		t.Fatalf("H(a,a) = %g, want 0", d)
 	}
@@ -43,8 +45,8 @@ func TestHausdorffKnownValue(t *testing.T) {
 // must be exact), and the metric axioms hold (symmetry, identity).
 func TestEarlyBreakEqualsNaive(t *testing.T) {
 	f := func(seedA, seedB int64) bool {
-		a := GenerateTrajectory(30, 1, 1.0, seedA)[0]
-		b := GenerateTrajectory(30, 1, 1.0, seedB)[0]
+		a := GenerateTrajectory(30, 1, 1.0, dist.NewStream(seedA))[0]
+		b := GenerateTrajectory(30, 1, 1.0, dist.NewStream(seedB))[0]
 		naive := HausdorffNaive(a, b)
 		eb := HausdorffEarlyBreak(a, b)
 		if math.Abs(naive-eb) > 1e-12 {
@@ -58,8 +60,8 @@ func TestEarlyBreakEqualsNaive(t *testing.T) {
 }
 
 func TestEarlyBreakDoesFewerOps(t *testing.T) {
-	a := GenerateTrajectory(200, 1, 1.0, 5)[0]
-	b := GenerateTrajectory(200, 1, 1.0, 6)[0]
+	a := GenerateTrajectory(200, 1, 1.0, dist.NewStream(5))[0]
+	b := GenerateTrajectory(200, 1, 1.0, dist.NewStream(6))[0]
 	naiveOps := DistanceOps(a, b, false)
 	ebOps := DistanceOps(a, b, true)
 	if naiveOps != 2*200*200 {
@@ -87,7 +89,7 @@ func TestRMSD(t *testing.T) {
 }
 
 func TestRMSDSeriesStartsAtZeroAndGrows(t *testing.T) {
-	tr := GenerateTrajectory(60, 20, 0.8, 9)
+	tr := GenerateTrajectory(60, 20, 0.8, dist.NewStream(9))
 	series := RMSDSeries(tr)
 	if len(series) != 20 {
 		t.Fatalf("series length %d", len(series))
@@ -105,7 +107,7 @@ func TestRMSDSeriesStartsAtZeroAndGrows(t *testing.T) {
 }
 
 func TestLeafletFinderSplitsBilayer(t *testing.T) {
-	f := GenerateBilayer(100, 10, 3) // two sheets 10 apart
+	f := GenerateBilayer(100, 10, dist.NewStream(3)) // two sheets 10 apart
 	groups := LeafletFinder(f, 2.0)
 	if len(groups) != 2 {
 		t.Fatalf("leaflets = %d, want 2", len(groups))
@@ -126,7 +128,7 @@ func TestLeafletFinderSplitsBilayer(t *testing.T) {
 }
 
 func TestLeafletFinderOneBlobOneGroup(t *testing.T) {
-	f := GenerateBilayer(50, 0.5, 4) // sheets nearly touching → one component
+	f := GenerateBilayer(50, 0.5, dist.NewStream(4)) // sheets nearly touching → one component
 	groups := LeafletFinder(f, 2.0)
 	if len(groups) != 1 {
 		t.Fatalf("groups = %d, want 1 for merged bilayer", len(groups))

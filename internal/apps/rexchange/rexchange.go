@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -55,8 +54,13 @@ type Config struct {
 	// [TargetAcceptance/2, min(1, 2·TargetAcceptance)].
 	Adaptive         bool
 	TargetAcceptance float64
-	// Seed drives all stochastic choices.
-	Seed int64
+	// Stream is the run's slot on the experiment's seeding spine. The
+	// driver (initial positions, exchange decisions) draws from its
+	// "driver" child and replica i's Metropolis walk from its
+	// "replica"/<i> child, so replica walks are independent of unit
+	// placement and of one another. Defaults to the manager's
+	// "app/rexchange" child.
+	Stream *dist.Stream
 }
 
 func (c *Config) withDefaults() Config {
@@ -119,7 +123,7 @@ func potential(x float64) float64 {
 
 // mdPhase advances a replica with Metropolis steps at its temperature —
 // the real computation of the kernel.
-func mdPhase(r *Replica, steps int, rng *rand.Rand) {
+func mdPhase(r *Replica, steps int, rng *dist.Stream) {
 	for s := 0; s < steps; s++ {
 		trial := r.Position + rng.NormFloat64()*0.5
 		dE := potential(trial) - r.Energy
@@ -154,13 +158,19 @@ func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
 		return nil, errors.New("rexchange: nil manager")
 	}
 	clock := mgr.Clock()
-	master := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Stream == nil {
+		cfg.Stream = mgr.Stream().Named("app/rexchange")
+	}
+	master := cfg.Stream.Named("driver")
+	replicaRoot := cfg.Stream.Named("replica")
 	ladder := geometricLadder(cfg.Replicas, cfg.TMin, cfg.TMax)
 
 	replicas := make([]Replica, cfg.Replicas)
+	walks := make([]*dist.Stream, cfg.Replicas)
 	for i := range replicas {
 		replicas[i] = Replica{ID: i, Temperature: ladder[i], Position: master.NormFloat64()}
 		replicas[i].Energy = potential(replicas[i].Position)
+		walks[i] = replicaRoot.SplitLabel(uint64(i))
 	}
 
 	res := &Result{}
@@ -176,7 +186,9 @@ func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
 		for i := range replicas {
 			i := i
 			mdDur := time.Duration(cfg.MDTime.Sample() * float64(time.Second))
-			seed := master.Int63()
+			// Replica i's walk continues its own labeled stream across
+			// cycles, wherever the unit lands.
+			rng := walks[i]
 			u, err := mgr.SubmitUnit(core.UnitDescription{
 				Name:  fmt.Sprintf("rex-c%d-r%d", cycle, i),
 				Cores: cfg.CoresPerReplica,
@@ -184,7 +196,6 @@ func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
 					if !tc.Sleep(ctx, mdDur) {
 						return ctx.Err()
 					}
-					rng := rand.New(rand.NewSource(seed))
 					mu.Lock()
 					r := replicas[i]
 					mu.Unlock()

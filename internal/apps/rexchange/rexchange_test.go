@@ -3,7 +3,6 @@ package rexchange
 import (
 	"context"
 	"math"
-	"math/rand"
 	"testing"
 	"time"
 
@@ -44,7 +43,7 @@ func TestGeometricLadder(t *testing.T) {
 }
 
 func TestMDPhaseExploresAndTracksEnergy(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := dist.NewStream(1)
 	r := Replica{Temperature: 2, Position: 0, Energy: potential(0)}
 	start := r.Position
 	mdPhase(&r, 500, rng)
@@ -59,7 +58,7 @@ func TestMDPhaseExploresAndTracksEnergy(t *testing.T) {
 
 func TestHotterReplicaMovesMore(t *testing.T) {
 	move := func(temp float64) float64 {
-		rng := rand.New(rand.NewSource(7))
+		rng := dist.NewStream(7)
 		total := 0.0
 		for trial := 0; trial < 20; trial++ {
 			r := Replica{Temperature: temp, Position: 0, Energy: potential(0)}
@@ -81,7 +80,7 @@ func TestRunCompletesAndCounts(t *testing.T) {
 	mgr := newMgr(t, 8)
 	res, err := Run(context.Background(), mgr, Config{
 		Replicas: 8, Cycles: 3, MDTime: dist.Constant(1),
-		ExchangeTime: 200 * time.Millisecond, Seed: 42,
+		ExchangeTime: 200 * time.Millisecond, Stream: dist.NewStream(42),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +105,7 @@ func TestRunCompletesAndCounts(t *testing.T) {
 
 func TestTemperatureSetPreservedByExchanges(t *testing.T) {
 	mgr := newMgr(t, 8)
-	cfg := Config{Replicas: 6, Cycles: 4, MDTime: dist.Constant(0.5), TMin: 1, TMax: 8, Seed: 3}
+	cfg := Config{Replicas: 6, Cycles: 4, MDTime: dist.Constant(0.5), TMin: 1, TMax: 8, Stream: dist.NewStream(3)}
 	res, err := Run(context.Background(), mgr, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +133,7 @@ func TestTemperatureSetPreservedByExchanges(t *testing.T) {
 func TestWavesWhenPilotSmallerThanEnsemble(t *testing.T) {
 	mgr := newMgr(t, 4) // 8 replicas on 4 cores → 2 waves per cycle
 	res, err := Run(context.Background(), mgr, Config{
-		Replicas: 8, Cycles: 2, MDTime: dist.Constant(2), Seed: 1,
+		Replicas: 8, Cycles: 2, MDTime: dist.Constant(2), Stream: dist.NewStream(1),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +155,7 @@ func TestAdaptiveRetunesLadder(t *testing.T) {
 	// the out-of-band condition near-certain within 6 cycles.
 	res, err := Run(context.Background(), mgr, Config{
 		Replicas: 8, Cycles: 6, MDTime: dist.Constant(0.2),
-		TMin: 0.5, TMax: 64, Adaptive: true, TargetAcceptance: 0.05, Seed: 17,
+		TMin: 0.5, TMax: 64, Adaptive: true, TargetAcceptance: 0.05, Stream: dist.NewStream(17),
 	})
 	if err != nil {
 		t.Fatal(err)

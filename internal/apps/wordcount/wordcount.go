@@ -6,18 +6,19 @@ package wordcount
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"strconv"
 	"strings"
 
+	"gopilot/internal/dist"
 	"gopilot/internal/mapreduce"
 )
 
 // GenerateCorpus builds nSplits documents of wordsPerSplit words drawn
-// Zipf-skewed from a synthetic vocabulary of vocab words.
-func GenerateCorpus(nSplits, wordsPerSplit, vocab int, seed int64) []string {
-	rng := rand.New(rand.NewSource(seed))
-	z := rand.NewZipf(rng, 1.3, 1, uint64(vocab-1))
+// Zipf-skewed from a synthetic vocabulary of vocab words. The stream is
+// the generator's slot on the experiment's seeding spine (e.g.
+// root.Named("corpus")).
+func GenerateCorpus(nSplits, wordsPerSplit, vocab int, s *dist.Stream) []string {
+	z := dist.ZipfFrom(s, 1.3, 1, uint64(vocab-1))
 	out := make([]string, nSplits)
 	var sb strings.Builder
 	for i := range out {

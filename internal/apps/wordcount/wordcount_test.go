@@ -5,10 +5,12 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"gopilot/internal/dist"
 )
 
 func TestGenerateCorpusShape(t *testing.T) {
-	c := GenerateCorpus(4, 100, 50, 1)
+	c := GenerateCorpus(4, 100, 50, dist.NewStream(1))
 	if len(c) != 4 {
 		t.Fatalf("splits = %d", len(c))
 	}
@@ -18,14 +20,14 @@ func TestGenerateCorpusShape(t *testing.T) {
 		}
 	}
 	// Reproducible.
-	c2 := GenerateCorpus(4, 100, 50, 1)
+	c2 := GenerateCorpus(4, 100, 50, dist.NewStream(1))
 	if c[0] != c2[0] {
 		t.Fatal("corpus not reproducible")
 	}
 }
 
 func TestCorpusIsSkewed(t *testing.T) {
-	c := GenerateCorpus(1, 5000, 100, 2)
+	c := GenerateCorpus(1, 5000, 100, dist.NewStream(2))
 	counts := Sequential(c)
 	// Zipf: the most frequent word dominates the median word.
 	max := 0

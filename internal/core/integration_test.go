@@ -27,7 +27,7 @@ func TestPilotOnEvictingHTCPoolFailsButUnitsRetryElsewhere(t *testing.T) {
 		Name: "flaky", Slots: 8,
 		EvictionRate: 1.0, MaxRetries: 0,
 		MatchDelay: dist.Constant(0.1),
-		Clock:      clock, Seed: 3,
+		Clock:      clock, Stream: dist.NewStream(3),
 	})
 	defer pool.Shutdown()
 	reg.Register(saga.NewHTCService(pool, clock))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gopilot/internal/dist"
 	"gopilot/internal/infra"
 	"gopilot/internal/metrics"
 	"gopilot/internal/saga"
@@ -43,6 +44,14 @@ type Config struct {
 	Scheduler Scheduler
 	// Data is the Pilot-Data service; nil disables data staging.
 	Data DataService
+	// Stream is the manager's slot on the experiment's seeding spine.
+	// Every pilot and unit receives a labeled child ("pilot"/<ordinal>,
+	// "unit"/<ordinal>) derived from it, so draws made by one component
+	// never shift another's — and a unit keeps the same stream across
+	// retries and regardless of which pilot it lands on. Defaults to
+	// dist.Unseeded("manager"); experiments should pass a named child of
+	// their own root instead.
+	Stream *dist.Stream
 	// OnUnitChange, if set, observes every unit state transition
 	// (instrumentation hook used by the Mini-App framework).
 	OnUnitChange func(cu *ComputeUnit, state UnitState)
@@ -53,6 +62,9 @@ type Config struct {
 // Pilot-API's PilotComputeService/ComputeDataService pair.
 type Manager struct {
 	cfg Config
+
+	pilotRoot *dist.Stream // parent of per-pilot streams ("pilot"/<ordinal>)
+	unitRoot  *dist.Stream // parent of per-unit streams ("unit"/<ordinal>)
 
 	mu          sync.Mutex
 	pilots      []*Pilot
@@ -84,11 +96,16 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Scheduler == nil {
 		cfg.Scheduler = firstFit{}
 	}
+	if cfg.Stream == nil {
+		cfg.Stream = dist.Unseeded("manager")
+	}
 	m := &Manager{
-		cfg:  cfg,
-		idle: vclock.NewEvent(cfg.Clock),
-		kick: vclock.NewNotifier(cfg.Clock),
-		wg:   vclock.NewGroup(cfg.Clock),
+		cfg:       cfg,
+		pilotRoot: cfg.Stream.Named("pilot"),
+		unitRoot:  cfg.Stream.Named("unit"),
+		idle:      vclock.NewEvent(cfg.Clock),
+		kick:      vclock.NewNotifier(cfg.Clock),
+		wg:        vclock.NewGroup(cfg.Clock),
 	}
 	m.idle.Fire() // no active units yet: idle
 	m.ctx, m.stop = context.WithCancel(context.Background())
@@ -108,6 +125,11 @@ func (m *Manager) Registry() *saga.Registry { return m.cfg.Registry }
 
 // SchedulerName returns the active scheduling policy's name.
 func (m *Manager) SchedulerName() string { return m.cfg.Scheduler.Name() }
+
+// Stream returns the manager's randomness root on the seeding spine.
+// Frameworks running on the manager (apps, processors) derive their own
+// labeled children from it when not handed a stream explicitly.
+func (m *Manager) Stream() *dist.Stream { return m.cfg.Stream }
 
 // SubmitPilot submits a placeholder job to the resource named in the
 // description and returns immediately with a Pending pilot.
@@ -129,6 +151,7 @@ func (m *Manager) SubmitPilot(d PilotDescription) (*Pilot, error) {
 		id:        fmt.Sprintf("pilot-%d", m.nextPilotID),
 		desc:      d,
 		manager:   m,
+		stream:    m.pilotRoot.SplitLabel(uint64(m.nextPilotID)),
 		state:     PilotPending,
 		running:   make(map[*ComputeUnit]struct{}),
 		submitted: m.cfg.Clock.Now(),
@@ -184,6 +207,7 @@ func (m *Manager) SubmitUnit(d UnitDescription) (*ComputeUnit, error) {
 	u := &ComputeUnit{
 		id:        fmt.Sprintf("unit-%d", m.nextUnitID),
 		desc:      d,
+		stream:    m.unitRoot.SplitLabel(uint64(m.nextUnitID)),
 		state:     UnitPending,
 		submitted: m.cfg.Clock.Now(),
 		done:      vclock.NewEvent(m.cfg.Clock),
@@ -485,12 +509,13 @@ func (m *Manager) executeUnit(ctx context.Context, p *Pilot, cu *ComputeUnit) {
 	m.notify(cu, UnitRunning)
 
 	tc := TaskContext{
-		Unit:  cu,
-		Cores: cu.desc.Cores,
-		Site:  site,
-		Alloc: p.allocation(),
-		Data:  m.cfg.Data,
-		Sleep: m.cfg.Clock.Sleep,
+		Unit:   cu,
+		Cores:  cu.desc.Cores,
+		Site:   site,
+		Alloc:  p.allocation(),
+		Data:   m.cfg.Data,
+		Sleep:  m.cfg.Clock.Sleep,
+		Stream: cu.stream,
 	}
 	err := cu.desc.Run(runCtx, tc)
 

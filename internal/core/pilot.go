@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"gopilot/internal/dist"
 	"gopilot/internal/infra"
 	"gopilot/internal/vclock"
 )
@@ -68,6 +69,7 @@ type Pilot struct {
 	id      string
 	desc    PilotDescription
 	manager *Manager
+	stream  *dist.Stream // "pilot"/<ordinal> child of the manager's stream
 
 	mu        sync.Mutex
 	state     PilotState
@@ -93,6 +95,13 @@ func (p *Pilot) ID() string { return p.id }
 
 // Description returns the pilot description.
 func (p *Pilot) Description() PilotDescription { return p.desc }
+
+// Stream returns the pilot's randomness identity on the seeding spine:
+// the "pilot"/<ordinal> child of the manager's stream, fixed at
+// submission. Agent-side draws (placement jitter, sampling inside
+// pilot-level services) must come from here so that submitting an
+// additional pilot never shifts an existing pilot's sequence.
+func (p *Pilot) Stream() *dist.Stream { return p.stream }
 
 // State returns the current state.
 func (p *Pilot) State() PilotState {

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"gopilot/internal/dist"
 	"gopilot/internal/infra"
 	"gopilot/internal/vclock"
 )
@@ -78,6 +79,12 @@ type TaskContext struct {
 	// Sleep blocks for a modeled duration, honoring cancellation — tasks
 	// use it to model compute phases without binding to wall time.
 	Sleep func(ctx context.Context, d time.Duration) bool
+	// Stream is the unit's randomness identity on the seeding spine (the
+	// "unit"/<ordinal> child of the manager's stream). Task bodies draw
+	// from it — never from ambient sources — so their stochastic behavior
+	// is fixed by the experiment root regardless of which pilot the unit
+	// lands on, and continues across retries.
+	Stream *dist.Stream
 }
 
 // TaskFunc is the body of a compute unit.
@@ -106,8 +113,9 @@ type UnitDescription struct {
 
 // ComputeUnit is a handle to a submitted unit.
 type ComputeUnit struct {
-	id   string
-	desc UnitDescription
+	id     string
+	desc   UnitDescription
+	stream *dist.Stream // "unit"/<ordinal> child of the manager's stream
 
 	mu        sync.Mutex
 	state     UnitState
@@ -129,6 +137,11 @@ func (u *ComputeUnit) ID() string { return u.id }
 
 // Description returns the unit description.
 func (u *ComputeUnit) Description() UnitDescription { return u.desc }
+
+// Stream returns the unit's randomness identity on the seeding spine,
+// fixed at submission (also available to task bodies as
+// TaskContext.Stream).
+func (u *ComputeUnit) Stream() *dist.Stream { return u.stream }
 
 // State returns the current state.
 func (u *ComputeUnit) State() UnitState {

@@ -141,17 +141,34 @@ func (b *BernoulliDist) Quantile(p float64) float64 {
 	return 0
 }
 
-// Bernoulli draws one success/failure from a caller-owned math/rand
-// generator with probability p — used by adaptors (HTC eviction) that
-// already thread their own *rand.Rand.
-func Bernoulli(rng *rand.Rand, p float64) bool {
-	if p <= 0 {
-		return false
-	}
-	if p >= 1 {
-		return true
-	}
-	return rng.Float64() < p
+// Zipf draws Zipf-distributed uint64s in [0, imax] on a Stream — the
+// skewed-popularity generator synthetic corpora need (wordcount's
+// vocabulary). It wraps math/rand's rejection-inversion sampler, which
+// is covered by the Go 1 compatibility promise, over our own Source, so
+// the sequence is fixed by (stream, parameters) alone. Draws are
+// concurrency-safe because the sampler is stateless between draws and
+// all randomness flows through the locked Stream.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// ZipfFrom builds a Zipf(s, v, imax) sampler on an existing
+// (sub-)stream; s > 1 is the skew exponent and v >= 1 the offset, as in
+// math/rand.NewZipf.
+func ZipfFrom(st *Stream, s, v float64, imax uint64) *Zipf {
+	return &Zipf{z: rand.NewZipf(rand.New(st), s, v, imax)}
+}
+
+// Uint64 draws the next variate.
+func (z *Zipf) Uint64() uint64 { return z.z.Uint64() }
+
+// Unseeded returns the deterministic fallback stream for a component
+// whose configuration omitted one: a child of the zero-seed root under
+// "unseeded"/<path>. Components use it in their config-defaulting so no
+// package ever has to mint an integer seed; real experiments should
+// always wire a labeled child of their own root instead (see Named).
+func Unseeded(path ...string) *Stream {
+	return NewStream(0).Named("unseeded").Named(path...)
 }
 
 func clamp01(p float64) float64 {

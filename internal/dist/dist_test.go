@@ -2,7 +2,6 @@ package dist
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 )
 
@@ -144,18 +143,18 @@ func TestBernoulliHitRate(t *testing.T) {
 }
 
 func TestBernoulliHelper(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	s := NewStream(1)
 	for i := 0; i < 100; i++ {
-		if Bernoulli(rng, 0) {
-			t.Fatal("Bernoulli(rng, 0) returned true")
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
 		}
-		if !Bernoulli(rng, 1) {
-			t.Fatal("Bernoulli(rng, 1) returned false")
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
 		}
 	}
 	hits := 0
 	for i := 0; i < draws; i++ {
-		if Bernoulli(rng, 0.3) {
+		if s.Bernoulli(0.3) {
 			hits++
 		}
 	}

@@ -3,6 +3,7 @@ package dist
 import (
 	"math"
 	"math/bits"
+	"strings"
 	"sync"
 )
 
@@ -93,6 +94,53 @@ func (s *Stream) SplitLabel(label uint64) *Stream {
 	return &Stream{state: seed, gamma: mixGamma(seed ^ g), seed0: seed}
 }
 
+// labelKey hashes a string label onto SplitLabel's numeric namespace:
+// FNV-1a 64 over the bytes, finalized through mix64 so short labels
+// ("a", "b") land far apart. The hash — like the generator — is fixed by
+// this repository, so label trees are stable across Go releases.
+func labelKey(label string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// Named returns the descendant stream for a path of string labels — the
+// seeding spine's equivalent of a filesystem path. Each argument may
+// itself be a "/"-separated path, so
+//
+//	root.Named("infra/hpc/stampede", "queue-wait")
+//
+// names the same stream as
+//
+//	root.Named("infra").Named("hpc").Named("stampede").Named("queue-wait")
+//
+// Like SplitLabel (which it is built on), Named neither advances nor
+// reads the receiver's position: the same (stream, path) pair always
+// yields the same child, regardless of what else has been drawn or
+// derived. Components are therefore *insensitive* to one another —
+// adding a new named component to an experiment cannot shift any other
+// component's draws. Empty path segments are skipped, so trailing
+// slashes do not mint distinct children.
+//
+// String labels (component names) and numeric SplitLabel ordinals
+// (pilot 3, unit 17) compose freely: root.Named("pilot").SplitLabel(3)
+// is the canonical address of the third pilot.
+func (s *Stream) Named(path ...string) *Stream {
+	out := s
+	for _, p := range path {
+		for _, seg := range strings.Split(p, "/") {
+			if seg == "" {
+				continue
+			}
+			out = out.SplitLabel(labelKey(seg))
+		}
+	}
+	return out
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (s *Stream) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
@@ -110,6 +158,29 @@ func (s *Stream) openFloat64() float64 {
 // monotone in the underlying uniform.
 func (s *Stream) NormFloat64() float64 {
 	return math.Sqrt2 * math.Erfinv(2*s.openFloat64()-1)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0. Rejection
+// sampling keeps the draw exactly uniform (no modulo bias); almost all
+// draws consume one Uint64.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	limit := ^uint64(0) / bound * bound // largest multiple of bound representable
+	for {
+		if v := s.Uint64(); v < limit {
+			return int(v % bound)
+		}
+	}
+}
+
+// Bernoulli draws one success/failure with probability p, consuming
+// exactly one uniform (also when p is 0 or 1, so consumption patterns
+// stay rate-independent).
+func (s *Stream) Bernoulli(p float64) bool {
+	return s.Float64() < p
 }
 
 // Int63 makes Stream a math/rand Source, so legacy call sites can wrap a

@@ -37,7 +37,7 @@ func MapReduceScaling(scale float64) (*metrics.Table, error) {
 			tb.Close()
 			return nil, err
 		}
-		corpus := wordcount.GenerateCorpus(splits, 3000, 500, 6)
+		corpus := wordcount.GenerateCorpus(splits, 3000, 500, tb.Root.Named("corpus"))
 		ids := make([]string, splits)
 		for i, s := range corpus {
 			ids[i] = fmt.Sprintf("mr-split-%d", i)
@@ -100,10 +100,10 @@ func PilotMemory(scale float64) (*metrics.Table, error) {
 				tb.Close()
 				return nil, err
 			}
-			dataset := kmeans.Generate(points, 4, 3, 1.0, 8)
+			dataset := kmeans.Generate(points, 4, 3, 1.0, tb.Root.Named("dataset"))
 			cfg := kmeans.Config{
 				K: 4, MaxIter: iterations, Tol: 0, Partitions: partitions,
-				Mode: mode, Site: "localhost", BytesPerPoint: bytesPerPoint, Seed: 12,
+				Mode: mode, Site: "localhost", BytesPerPoint: bytesPerPoint, Stream: tb.Root.Named("app/kmeans"),
 			}
 			if mode == kmeans.ModeMemory {
 				cfg.Cache = memory.NewCache(memory.Config{

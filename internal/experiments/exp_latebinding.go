@@ -112,9 +112,9 @@ func LateBinding(scale float64) (*metrics.Table, error) {
 		// The cluster runs our jobs plus nothing else, so the slot limit for
 		// direct submission is effectively the machine size.
 		directModel := perfmodel.DirectSubmissionSim(n, 64*16,
-			task, dist.NewLogNormal(queueMean, queueCV, int64(300+n)))
+			task, dist.LogNormalFrom(tb.Root.Named("perfmodel/direct-queue"), queueMean, queueCV))
 		pilotModel := perfmodel.PilotSubmissionSim(n, pilotCores,
-			task, dist.NewLogNormal(queueMean, queueCV, int64(400+n)), 50*time.Millisecond)
+			task, dist.LogNormalFrom(tb2.Root.Named("perfmodel/pilot-queue"), queueMean, queueCV), 50*time.Millisecond)
 
 		t.AddRow(n,
 			metrics.FormatDuration(directMeasured),

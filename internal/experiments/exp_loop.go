@@ -122,10 +122,14 @@ func AblationAlgorithm(scale float64) (*metrics.Table, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 
-	// Pre-generate trajectory frames for the pairwise comparison.
+	// Pre-generate trajectory frames for the pairwise comparison. The
+	// frames are shared input data across both variants' testbeds, so they
+	// hang off the exhibit's own root (same seed as its testbeds), not off
+	// any one testbed.
+	trajRoot := dist.NewStream(16).Named("trajectory")
 	frames := make([]mdanalysis.Frame, pairs+1)
 	for i := range frames {
-		frames[i] = mdanalysis.GenerateTrajectory(atoms, 1, 1.0, int64(40+i))[0]
+		frames[i] = mdanalysis.GenerateTrajectory(atoms, 1, 1.0, trajRoot.SplitLabel(uint64(i)))[0]
 	}
 
 	t := metrics.NewTable(
@@ -210,7 +214,7 @@ func EnKFAdaptive(scale float64) (*metrics.Table, error) {
 	res, err := enkf.Run(ctx, mgr, enkf.Config{
 		StateDim: 3, InitialEnsemble: 8, MinEnsemble: 4, MaxEnsemble: 32,
 		Cycles: 8, ForecastTime: dist.Constant(10),
-		SpreadTarget: 0.15, Adaptive: true, Seed: 18,
+		SpreadTarget: 0.15, Adaptive: true, Stream: tb.Root.Named("app/enkf"),
 	})
 	if err != nil {
 		return nil, err

@@ -47,7 +47,7 @@ func RexScaling(scale float64) (*metrics.Table, error) {
 		}
 		res, err := rexchange.Run(ctx, mgr, rexchange.Config{
 			Replicas: replicas, Cycles: cycles,
-			MDTime: dist.Constant(mdSeconds), ExchangeTime: exchange, Seed: 11,
+			MDTime: dist.Constant(mdSeconds), ExchangeTime: exchange, Stream: tb.Root.Named("app/rexchange"),
 		})
 		if err != nil {
 			return nil, err

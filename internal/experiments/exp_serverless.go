@@ -67,19 +67,22 @@ func serverlessTrial(tb *Testbed, partitions, frames int, cost time.Duration) (f
 	if err := broker.CreateTopic(topic, partitions); err != nil {
 		return 0, metrics.Summary{}, 0, err
 	}
+	faasStream := tb.Root.Named("infra/serverless/lambda")
 	platform := serverless.New(serverless.Config{
 		Name:      "lambda",
-		ColdStart: dist.NewLogNormal(2, 0.3, 23), // ~2s cold starts
+		ColdStart: dist.LogNormalFrom(faasStream.Named("cold-start"), 2, 0.3), // ~2s cold starts
 		WarmStart: dist.Constant(0.01),
 		WarmTTL:   10 * time.Minute,
 		Clock:     tb.Clock,
+		Stream:    faasStream,
 	})
 	defer platform.Shutdown()
 
-	det := lightsource.NewDetector(16, 16, 0.5, 25, 2, 24)
+	det := lightsource.NewDetector(16, 16, 0.5, 25, 2, tb.Root.Named("detector"))
 	proc, err := streaming.StartServerless(ctx, platform, broker, streaming.ServerlessConfig{
 		Topic: topic, Function: "reconstruct", BatchSize: 64,
 		CostPerMessage: cost,
+		Stream:         tb.Root.Named("streaming/serverless/reconstruct"),
 		Handler: func(_ context.Context, m streaming.Message) error {
 			f, err := lightsource.Decode(m.Value)
 			if err != nil {

@@ -33,9 +33,10 @@ func StreamTrial(tb *Testbed, partitions, workers, frames int, handlerCost time.
 	}); err != nil {
 		return 0, lat, err
 	}
-	det := lightsource.NewDetector(16, 16, 0.5, 25, 2, 21)
+	det := lightsource.NewDetector(16, 16, 0.5, 25, 2, tb.Root.Named("detector"))
 	proc, err := streaming.StartProcessor(ctx, mgr, broker, streaming.ProcessorConfig{
 		Name: "ls", Topic: topic, Workers: workers,
+		Stream: tb.Root.Named("streaming/processor/ls"),
 		CostPerMessage: handlerCost,
 		Handler: func(ctx context.Context, tc core.TaskContext, m streaming.Message) error {
 			f, err := lightsource.Decode(m.Value)

@@ -43,7 +43,7 @@ func Table1(scale float64) (*metrics.Table, error) {
 	// --- Task-parallel: replica-exchange ensemble --------------------------
 	rex, err := rexchange.Run(ctx, mgr, rexchange.Config{
 		Replicas: 8, Cycles: 2, MDTime: dist.Constant(20),
-		ExchangeTime: 2 * time.Second, Seed: 7,
+		ExchangeTime: 2 * time.Second, Stream: tb.Root.Named("app/rexchange"),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("task-parallel: %w", err)
@@ -89,7 +89,7 @@ func Table1(scale float64) (*metrics.Table, error) {
 		"8×200MB chunks read in place")
 
 	// --- Dataflow: multi-stage MapReduce (wordcount) -----------------------
-	corpus := wordcount.GenerateCorpus(4, 400, 100, 3)
+	corpus := wordcount.GenerateCorpus(4, 400, 100, tb.Root.Named("corpus"))
 	var splitIDs []string
 	for i, s := range corpus {
 		id := fmt.Sprintf("t1-wc-%d", i)
@@ -126,14 +126,14 @@ func Table1(scale float64) (*metrics.Table, error) {
 			metrics.FormatDuration(mrRes.MapElapsed), metrics.FormatDuration(mrRes.ReduceElapsed)))
 
 	// --- Iterative: K-Means with Pilot-Memory caching ----------------------
-	dataset := kmeans.Generate(2000, 4, 3, 1.0, 9)
+	dataset := kmeans.Generate(2000, 4, 3, 1.0, tb.Root.Named("dataset"))
 	kcfg := kmeans.Config{
 		K: 4, MaxIter: 4, Tol: 0, Partitions: 4,
 		Mode: kmeans.ModeMemory,
 		Cache: memory.NewCache(memory.Config{
 			CapacityBytes: 1 << 30, Clock: tb.Clock,
 		}),
-		Site: "localhost", BytesPerPoint: 1 << 12, Seed: 5,
+		Site: "localhost", BytesPerPoint: 1 << 12, Stream: tb.Root.Named("app/kmeans"),
 	}
 	ids, err := kmeans.Stage(ctx, tb.Data, dataset, kcfg)
 	if err != nil {
@@ -155,7 +155,7 @@ func Table1(scale float64) (*metrics.Table, error) {
 	if err := broker.CreateTopic("frames", 4); err != nil {
 		return nil, err
 	}
-	det := lightsource.NewDetector(24, 24, 0.5, 25, 2, 11)
+	det := lightsource.NewDetector(24, 24, 0.5, 25, 2, tb.Root.Named("detector"))
 	var recovered, frames atomic.Int64
 	proc, err := streaming.StartProcessor(ctx, mgr, broker, streaming.ProcessorConfig{
 		Name: "t1-ls", Topic: "frames", Workers: 2,

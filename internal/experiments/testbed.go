@@ -79,6 +79,16 @@ type Testbed struct {
 	Yarn     *yarn.Cluster
 	Data     *data.Service
 
+	// Root is the experiment's seeding-spine root, derived once from
+	// TestbedConfig.Seed. Every component owns a child named by its
+	// *identity* — "infra/hpc/stampede", "manager"/<ordinal>,
+	// "app/rexchange" — never by construction order, so adding a backend,
+	// pilot or workload to a same-seed testbed leaves every existing
+	// component's draw sequence bit-identical (the component-insensitivity
+	// contract; see DESIGN.md "Seeding spine"). Extensions must derive
+	// their streams from here: tb.Root.Named("infra/hpc/<newname>").
+	Root *dist.Stream
+
 	managers []*core.Manager
 }
 
@@ -94,7 +104,9 @@ type TestbedConfig struct {
 	QueueWaitMean float64
 	// QueueWaitCV is the lognormal coefficient of variation (default 0.5).
 	QueueWaitCV float64
-	// Seed drives all infrastructure randomness.
+	// Seed is the experiment's single root seed. It is the only integer
+	// seed in the whole stack: NewTestbed turns it into one root stream
+	// and every component below receives a named sub-stream (see Root).
 	Seed int64
 }
 
@@ -127,40 +139,50 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	default:
 		clock = vclock.NewScaled(cfg.Scale)
 	}
-	tb := &Testbed{Clock: clock, Virtual: virtual, Registry: saga.NewRegistry()}
+	root := dist.NewStream(cfg.Seed)
+	tb := &Testbed{Clock: clock, Virtual: virtual, Registry: saga.NewRegistry(), Root: root}
 
+	// Each backend's randomness is a child of the root named by the
+	// component's identity — never by position in this function — so
+	// registering an additional backend (or reordering this block) leaves
+	// every other backend's sample sequence bit-identical.
+	hpcaStream := root.Named("infra/hpc/stampede")
 	tb.HPCA = hpc.New(hpc.Config{
 		Name: "stampede", Nodes: 64, CoresPerNode: 16,
-		QueueWait:        dist.NewLogNormal(cfg.QueueWaitMean, cfg.QueueWaitCV, cfg.Seed+1),
+		QueueWait:        dist.LogNormalFrom(hpcaStream.Named("queue-wait"), cfg.QueueWaitMean, cfg.QueueWaitCV),
 		DispatchOverhead: 2 * time.Second,
 		Backfill:         true,
-		Clock:            clock,
+		Clock:            clock, Stream: hpcaStream,
 	})
+	hpcbStream := root.Named("infra/hpc/comet")
 	tb.HPCB = hpc.New(hpc.Config{
 		Name: "comet", Nodes: 32, CoresPerNode: 16,
-		QueueWait:        dist.NewLogNormal(cfg.QueueWaitMean*4, cfg.QueueWaitCV, cfg.Seed+2),
+		QueueWait:        dist.LogNormalFrom(hpcbStream.Named("queue-wait"), cfg.QueueWaitMean*4, cfg.QueueWaitCV),
 		DispatchOverhead: 2 * time.Second,
 		Backfill:         true,
-		Clock:            clock,
+		Clock:            clock, Stream: hpcbStream,
 	})
+	htcStream := root.Named("infra/htc/osg")
 	tb.HTC = htc.New(htc.Config{
 		Name: "osg", Slots: 128,
-		MatchDelay: dist.NewLogNormal(15, 0.5, cfg.Seed+3),
-		Clock:      clock, Seed: cfg.Seed + 4,
+		MatchDelay: dist.LogNormalFrom(htcStream.Named("match-delay"), 15, 0.5),
+		Clock:      clock, Stream: htcStream,
 	})
+	cloudStream := root.Named("infra/cloud/ec2")
 	tb.Cloud = cloud.New(cloud.Config{
 		Name: "ec2",
 		Types: []cloud.VMType{
 			{Name: "c5.2xlarge", Cores: 8, PricePerHour: 0.34},
 			{Name: "c5.4xlarge", Cores: 16, PricePerHour: 0.68},
 		},
-		BootDelay: dist.NewLogNormal(45, 0.3, cfg.Seed+5),
-		Clock:     clock,
+		BootDelay: dist.LogNormalFrom(cloudStream.Named("boot-delay"), 45, 0.3),
+		Clock:     clock, Stream: cloudStream,
 	})
+	yarnStream := root.Named("infra/yarn/yarn")
 	tb.Yarn = yarn.New(yarn.Config{
 		Name: "yarn", TotalCores: 64,
-		AllocDelay: dist.NewLogNormal(1, 0.3, cfg.Seed+6),
-		Clock:      clock,
+		AllocDelay: dist.LogNormalFrom(yarnStream.Named("alloc-delay"), 1, 0.3),
+		Clock:      clock, Stream: yarnStream,
 	})
 
 	tb.Registry.Register(saga.NewLocalService("localhost", 64, clock))
@@ -182,12 +204,16 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 }
 
 // NewManager creates a pilot manager on the testbed (closed by Close).
+// Managers are labeled by creation ordinal — "manager"/0, "manager"/1 — so
+// creating an additional manager after existing ones never shifts their
+// pilots' or units' streams.
 func (tb *Testbed) NewManager(sched core.Scheduler) *core.Manager {
 	m := core.NewManager(core.Config{
 		Registry:  tb.Registry,
 		Clock:     tb.Clock,
 		Scheduler: sched,
 		Data:      tb.Data,
+		Stream:    tb.Root.Named("manager").SplitLabel(uint64(len(tb.managers))),
 	})
 	tb.managers = append(tb.managers, m)
 	return m

@@ -89,6 +89,12 @@ type Config struct {
 	CapacityVMs int
 	// Clock supplies virtual time; defaults to vclock.Real.
 	Clock vclock.Clock
+	// Stream is the region's slot on the experiment's seeding spine. When
+	// BootDelay is nil and Stream is set, the canonical stochastic boot
+	// model (lognormal, mean 45 s, cv 0.3) is derived from its
+	// "boot-delay" child; with neither, boots are instantaneous. Defaults
+	// to dist.Unseeded("infra/cloud/<name>").
+	Stream *dist.Stream
 }
 
 func (c *Config) withDefaults() Config {
@@ -99,8 +105,16 @@ func (c *Config) withDefaults() Config {
 	if len(out.Types) == 0 {
 		out.Types = []VMType{{Name: "std.4", Cores: 4, PricePerHour: 0.2}}
 	}
+	hasStream := out.Stream != nil
+	if !hasStream {
+		out.Stream = dist.Unseeded("infra/cloud/" + out.Name)
+	}
 	if out.BootDelay == nil {
-		out.BootDelay = dist.Constant(0)
+		if hasStream {
+			out.BootDelay = dist.LogNormalFrom(out.Stream.Named("boot-delay"), 45, 0.3)
+		} else {
+			out.BootDelay = dist.Constant(0)
+		}
 	}
 	if out.Clock == nil {
 		out.Clock = vclock.NewReal()

@@ -79,6 +79,12 @@ type Config struct {
 	Backfill bool
 	// Clock supplies virtual time. Defaults to vclock.Real.
 	Clock vclock.Clock
+	// Stream is the cluster's slot on the experiment's seeding spine.
+	// When QueueWait is nil and Stream is set, the canonical stochastic
+	// queue-wait model (lognormal, mean 60 s, cv 0.5) is derived from its
+	// "queue-wait" child; with neither, queue waits are zero. Defaults to
+	// dist.Unseeded("infra/hpc/<name>").
+	Stream *dist.Stream
 }
 
 func (c *Config) withDefaults() Config {
@@ -89,14 +95,22 @@ func (c *Config) withDefaults() Config {
 	if out.CoresPerNode <= 0 {
 		out.CoresPerNode = 8
 	}
+	if out.Name == "" {
+		out.Name = "hpc"
+	}
+	hasStream := out.Stream != nil
+	if !hasStream {
+		out.Stream = dist.Unseeded("infra/hpc/" + out.Name)
+	}
 	if out.QueueWait == nil {
-		out.QueueWait = dist.Constant(0)
+		if hasStream {
+			out.QueueWait = dist.LogNormalFrom(out.Stream.Named("queue-wait"), 60, 0.5)
+		} else {
+			out.QueueWait = dist.Constant(0)
+		}
 	}
 	if out.Clock == nil {
 		out.Clock = vclock.NewReal()
-	}
-	if out.Name == "" {
-		out.Name = "hpc"
 	}
 	return out
 }

@@ -10,7 +10,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,8 +70,15 @@ type Config struct {
 	MaxRetries int
 	// Clock supplies virtual time; defaults to vclock.Real.
 	Clock vclock.Clock
-	// Seed makes eviction draws reproducible.
-	Seed int64
+	// Stream is the pool's slot on the experiment's seeding spine. Every
+	// submitted job draws its eviction sequence from the "evict"/<job
+	// ordinal> child, so concurrent jobs never share a generator and
+	// submitting an additional job cannot shift an existing job's draws.
+	// When MatchDelay is nil and Stream is set, the canonical stochastic
+	// matchmaking model (lognormal, mean 15 s, cv 0.5) is derived from the
+	// "match-delay" child; with neither, matchmaking is instantaneous.
+	// Defaults to dist.Unseeded("infra/htc/<name>").
+	Stream *dist.Stream
 }
 
 func (c *Config) withDefaults() Config {
@@ -86,8 +92,16 @@ func (c *Config) withDefaults() Config {
 	if out.CoresPerSlot <= 0 {
 		out.CoresPerSlot = 1
 	}
+	hasStream := out.Stream != nil
+	if !hasStream {
+		out.Stream = dist.Unseeded("infra/htc/" + out.Name)
+	}
 	if out.MatchDelay == nil {
-		out.MatchDelay = dist.Constant(0)
+		if hasStream {
+			out.MatchDelay = dist.LogNormalFrom(out.Stream.Named("match-delay"), 15, 0.5)
+		} else {
+			out.MatchDelay = dist.Constant(0)
+		}
 	}
 	if out.Clock == nil {
 		out.Clock = vclock.NewReal()
@@ -114,6 +128,13 @@ type JobSpec struct {
 type Job struct {
 	id   string
 	spec JobSpec
+
+	// rng is the job's own "evict"/<ordinal> stream; evict draws one
+	// success/failure per run attempt from it. Per-job streams make the
+	// eviction sequence a property of the job's identity, not of how pool
+	// load interleaves.
+	rng   *dist.Stream
+	evict *dist.BernoulliDist
 
 	mu        sync.Mutex
 	state     State
@@ -177,10 +198,10 @@ func (j *Job) TurnaroundTime() time.Duration {
 type Pool struct {
 	cfg Config
 
-	slots *vclock.Sem // counting semaphore of execution slots
+	slots     *vclock.Sem  // counting semaphore of execution slots
+	evictRoot *dist.Stream // parent of per-job eviction streams
 
 	mu     sync.Mutex
-	rng    *rand.Rand
 	nextID int
 	closed bool
 
@@ -203,7 +224,7 @@ func New(cfg Config) *Pool {
 	}
 	p.slots = vclock.NewSem(p.cfg.Clock, p.cfg.Slots)
 	p.wg = vclock.NewGroup(p.cfg.Clock)
-	p.rng = rand.New(rand.NewSource(p.cfg.Seed))
+	p.evictRoot = p.cfg.Stream.Named("evict")
 	p.ctx, p.stop = context.WithCancel(context.Background())
 	return p
 }
@@ -238,9 +259,12 @@ func (p *Pool) Submit(spec JobSpec) (*Job, error) {
 		return nil, ErrPoolClosed
 	}
 	p.nextID++
+	rng := p.evictRoot.SplitLabel(uint64(p.nextID))
 	j := &Job{
 		id:        fmt.Sprintf("%s.%d", p.cfg.Name, p.nextID),
 		spec:      spec,
+		rng:       rng,
+		evict:     dist.BernoulliFrom(rng, p.cfg.EvictionRate),
 		state:     Idle,
 		submitted: p.cfg.Clock.Now(),
 		done:      vclock.NewEvent(p.cfg.Clock),
@@ -328,12 +352,12 @@ func (p *Pool) attempt(j *Job) (State, error) {
 
 	// Eviction lands in the first half of the estimated runtime so that an
 	// accurate runtime estimate guarantees interruption; a payload that
-	// finishes early simply escapes the eviction, as on a real pool.
+	// finishes early simply escapes the eviction, as on a real pool. Both
+	// draws come from the job's own labeled stream — two per attempt, so a
+	// retry continues the job's sequence.
 	var evicted atomic.Bool
-	p.mu.Lock()
-	willEvict := dist.Bernoulli(p.rng, p.cfg.EvictionRate)
-	evictFrac := 0.1 + 0.4*p.rng.Float64()
-	p.mu.Unlock()
+	willEvict := j.evict.Sample() == 1
+	evictFrac := 0.1 + 0.4*j.rng.Float64()
 	if willEvict && j.spec.Runtime > 0 {
 		evictAfter := time.Duration(float64(j.spec.Runtime) * evictFrac)
 		p.wg.Add(1)

@@ -87,7 +87,7 @@ func TestSlotsLimitConcurrency(t *testing.T) {
 
 func TestEvictionWithRetrySucceeds(t *testing.T) {
 	clock := fastClock()
-	p := New(Config{Name: "ev", Slots: 2, EvictionRate: 1.0, MaxRetries: 50, Clock: clock, Seed: 7})
+	p := New(Config{Name: "ev", Slots: 2, EvictionRate: 1.0, MaxRetries: 50, Clock: clock, MatchDelay: dist.Constant(0)})
 	defer p.Shutdown()
 	// Payload that succeeds only if not interrupted; with retries it should
 	// eventually... never succeed at rate 1.0. Use a payload that finishes
@@ -101,7 +101,7 @@ func TestEvictionWithRetrySucceeds(t *testing.T) {
 
 func TestEvictionExhaustsRetries(t *testing.T) {
 	clock := fastClock()
-	p := New(Config{Name: "ev2", Slots: 1, EvictionRate: 1.0, MaxRetries: 2, Clock: clock, Seed: 3})
+	p := New(Config{Name: "ev2", Slots: 1, EvictionRate: 1.0, MaxRetries: 2, Clock: clock, MatchDelay: dist.Constant(0)})
 	defer p.Shutdown()
 	// The payload runs far past the runtime estimate the eviction point is
 	// sampled from, so the eviction always lands first even under heavy

@@ -19,7 +19,7 @@ func TestVirtualClockEvictionWatchdog(t *testing.T) {
 		Name: "evict", Slots: 4,
 		MatchDelay:   dist.Constant(1),
 		EvictionRate: 0.5, MaxRetries: 12,
-		Clock: clock, Seed: 3,
+		Clock: clock, Stream: dist.NewStream(3),
 	})
 	clock.Adopt()
 	jobs := make([]*Job, 0, 8)

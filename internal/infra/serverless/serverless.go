@@ -33,6 +33,13 @@ type Config struct {
 	ConcurrencyLimit int
 	// Clock supplies virtual time; defaults to vclock.Real.
 	Clock vclock.Clock
+	// Stream is the platform's slot on the experiment's seeding spine.
+	// When ColdStart/WarmStart are nil and Stream is set, canonical
+	// stochastic startup models (lognormal, mean 0.5 s / 5 ms, cv 0.3)
+	// are derived from its "cold-start"/"warm-start" children; with
+	// neither, the historical constants apply. Defaults to
+	// dist.Unseeded("infra/serverless/<name>").
+	Stream *dist.Stream
 }
 
 func (c *Config) withDefaults() Config {
@@ -40,11 +47,23 @@ func (c *Config) withDefaults() Config {
 	if out.Name == "" {
 		out.Name = "faas"
 	}
+	hasStream := out.Stream != nil
+	if !hasStream {
+		out.Stream = dist.Unseeded("infra/serverless/" + out.Name)
+	}
 	if out.ColdStart == nil {
-		out.ColdStart = dist.Constant(0.5)
+		if hasStream {
+			out.ColdStart = dist.LogNormalFrom(out.Stream.Named("cold-start"), 0.5, 0.3)
+		} else {
+			out.ColdStart = dist.Constant(0.5)
+		}
 	}
 	if out.WarmStart == nil {
-		out.WarmStart = dist.Constant(0.005)
+		if hasStream {
+			out.WarmStart = dist.LogNormalFrom(out.Stream.Named("warm-start"), 0.005, 0.3)
+		} else {
+			out.WarmStart = dist.Constant(0.005)
+		}
 	}
 	if out.WarmTTL <= 0 {
 		out.WarmTTL = 10 * time.Minute

@@ -28,6 +28,12 @@ type Config struct {
 	AllocDelay dist.Dist
 	// Clock supplies virtual time; defaults to vclock.Real.
 	Clock vclock.Clock
+	// Stream is the cluster's slot on the experiment's seeding spine.
+	// When AllocDelay is nil and Stream is set, the canonical stochastic
+	// negotiation model (lognormal, mean 1 s, cv 0.3) is derived from its
+	// "alloc-delay" child; with neither, a constant 0.1 s is charged.
+	// Defaults to dist.Unseeded("infra/yarn/<name>").
+	Stream *dist.Stream
 }
 
 func (c *Config) withDefaults() Config {
@@ -38,8 +44,16 @@ func (c *Config) withDefaults() Config {
 	if out.TotalCores <= 0 {
 		out.TotalCores = 64
 	}
+	hasStream := out.Stream != nil
+	if !hasStream {
+		out.Stream = dist.Unseeded("infra/yarn/" + out.Name)
+	}
 	if out.AllocDelay == nil {
-		out.AllocDelay = dist.Constant(0.1)
+		if hasStream {
+			out.AllocDelay = dist.LogNormalFrom(out.Stream.Named("alloc-delay"), 1, 0.3)
+		} else {
+			out.AllocDelay = dist.Constant(0.1)
+		}
 	}
 	if out.Clock == nil {
 		out.Clock = vclock.NewReal()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gopilot/internal/core"
+	"gopilot/internal/dist"
 	"gopilot/internal/metrics"
 	"gopilot/internal/vclock"
 )
@@ -37,6 +38,17 @@ type ProcessorConfig struct {
 	// timer granularity under aggressive virtual-time compression, exactly
 	// as real consumers amortize per-record overhead across poll batches).
 	CostPerMessage time.Duration
+	// CostCV makes the per-batch processing cost stochastic: each batch's
+	// cost is CostPerMessage·len(batch) scaled by a lognormal multiplier
+	// with mean 1 and this coefficient of variation. Zero (the default)
+	// keeps costs deterministic.
+	CostCV float64
+	// Stream is the processor's slot on the experiment's seeding spine;
+	// worker w draws its cost jitter from Stream's "worker"/<w> child, so
+	// resizing the worker pool never shifts an existing worker's draws.
+	// Only consumed when CostCV > 0. Defaults to
+	// dist.Unseeded("streaming/processor/<name>").
+	Stream *dist.Stream
 	// CoresPerWorker sizes each worker unit (default 1).
 	CoresPerWorker int
 }
@@ -78,6 +90,9 @@ func StartProcessor(ctx context.Context, mgr *core.Manager, broker *Broker, cfg 
 	if cfg.Name == "" {
 		cfg.Name = "stream-proc"
 	}
+	if cfg.Stream == nil {
+		cfg.Stream = dist.Unseeded("streaming/processor/" + cfg.Name)
+	}
 	nparts, err := broker.Partitions(cfg.Topic)
 	if err != nil {
 		return nil, err
@@ -95,16 +110,21 @@ func StartProcessor(ctx context.Context, mgr *core.Manager, broker *Broker, cfg 
 	}
 
 	// Static partition assignment: worker w owns partitions w, w+W, ...
+	workerRoot := cfg.Stream.Named("worker")
 	for w := 0; w < cfg.Workers; w++ {
 		var parts []int
 		for q := w; q < nparts; q += cfg.Workers {
 			parts = append(parts, q)
 		}
+		var jitter dist.Dist
+		if cfg.CostCV > 0 {
+			jitter = dist.LogNormalFrom(workerRoot.SplitLabel(uint64(w)), 1, cfg.CostCV)
+		}
 		u, err := mgr.SubmitUnit(core.UnitDescription{
 			Name:  fmt.Sprintf("%s[%d]", cfg.Name, w),
 			Cores: cfg.CoresPerWorker,
 			Run: func(_ context.Context, tc core.TaskContext) error {
-				return p.consume(runCtx, tc, parts)
+				return p.consume(runCtx, tc, parts, jitter)
 			},
 		})
 		if err != nil {
@@ -117,7 +137,7 @@ func StartProcessor(ctx context.Context, mgr *core.Manager, broker *Broker, cfg 
 }
 
 // consume is one worker's loop over its partition set.
-func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []int) error {
+func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []int, jitter dist.Dist) error {
 	if len(parts) == 0 {
 		// No partitions assigned: idle until stopped, without holding the
 		// virtual-time executor's token.
@@ -152,7 +172,7 @@ func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []in
 				}
 				return err
 			}
-			if err := p.processBatch(ctx, tc, clock, batch); err != nil {
+			if err := p.processBatch(ctx, tc, clock, batch, jitter); err != nil {
 				if ctx.Err() != nil {
 					return nil
 				}
@@ -179,9 +199,12 @@ func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []in
 // processBatch charges the batch's modeled processing cost, then runs the
 // handler (real computation) over each message and records its end-to-end
 // latency.
-func (p *Processor) processBatch(ctx context.Context, tc core.TaskContext, clock vclock.Clock, batch []Message) error {
+func (p *Processor) processBatch(ctx context.Context, tc core.TaskContext, clock vclock.Clock, batch []Message, jitter dist.Dist) error {
 	if p.cfg.CostPerMessage > 0 {
 		cost := time.Duration(len(batch)) * p.cfg.CostPerMessage
+		if jitter != nil {
+			cost = time.Duration(float64(cost) * jitter.Sample())
+		}
 		if !clock.Sleep(ctx, cost) {
 			return ctx.Err()
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"gopilot/internal/dist"
 	"gopilot/internal/infra"
 	"gopilot/internal/infra/serverless"
 	"gopilot/internal/metrics"
@@ -29,6 +30,14 @@ type ServerlessConfig struct {
 	// CostPerMessage is the modeled processing cost per message inside the
 	// function, charged once per invocation batch.
 	CostPerMessage time.Duration
+	// CostCV makes per-invocation batch cost stochastic (lognormal
+	// multiplier, mean 1). Zero keeps costs deterministic.
+	CostCV float64
+	// Stream is the processor's slot on the experiment's seeding spine;
+	// the dispatcher for partition q draws its cost jitter from Stream's
+	// "partition"/<q> child. Only consumed when CostCV > 0. Defaults to
+	// dist.Unseeded("streaming/serverless/<function>").
+	Stream *dist.Stream
 	// Handler is the real computation applied to each message inside the
 	// invocation.
 	Handler func(ctx context.Context, msg Message) error
@@ -65,6 +74,9 @@ func StartServerless(ctx context.Context, platform *serverless.Platform, broker 
 	if cfg.Function == "" {
 		cfg.Function = "stream-fn"
 	}
+	if cfg.Stream == nil {
+		cfg.Stream = dist.Unseeded("streaming/serverless/" + cfg.Function)
+	}
 	nparts, err := broker.Partitions(cfg.Topic)
 	if err != nil {
 		return nil, err
@@ -80,19 +92,24 @@ func StartServerless(ctx context.Context, platform *serverless.Platform, broker 
 		started:   broker.Clock().Now(),
 		latencies: metrics.NewSeries("faas_e2e_latency_s"),
 	}
+	partRoot := cfg.Stream.Named("partition")
 	for part := 0; part < nparts; part++ {
 		part := part
+		var jitter dist.Dist
+		if cfg.CostCV > 0 {
+			jitter = dist.LogNormalFrom(partRoot.SplitLabel(uint64(part)), 1, cfg.CostCV)
+		}
 		p.wg.Add(1)
 		vclock.Go(broker.Clock(), func() {
 			defer p.wg.Done()
-			p.dispatch(runCtx, part)
+			p.dispatch(runCtx, part, jitter)
 		})
 	}
 	return p, nil
 }
 
 // dispatch is the per-partition poll → invoke loop.
-func (p *ServerlessProcessor) dispatch(ctx context.Context, part int) {
+func (p *ServerlessProcessor) dispatch(ctx context.Context, part int, jitter dist.Dist) {
 	clock := p.broker.Clock()
 	var offset int64
 	for {
@@ -114,6 +131,9 @@ func (p *ServerlessProcessor) dispatch(ctx context.Context, part int) {
 		err = p.platform.Invoke(ctx, p.cfg.Function, func(ictx context.Context, _ infra.Allocation) error {
 			if p.cfg.CostPerMessage > 0 {
 				cost := time.Duration(len(batch)) * p.cfg.CostPerMessage
+				if jitter != nil {
+					cost = time.Duration(float64(cost) * jitter.Sample())
+				}
 				if !clock.Sleep(ictx, cost) {
 					return ictx.Err()
 				}

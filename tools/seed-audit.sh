@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# seed-audit — the seeding-spine lint (DESIGN.md "Seeding spine").
+#
+# Every stochastic draw in this repository must flow from one experiment
+# root through labeled dist.Stream children. Three rules keep it that way:
+#
+#   1. Only internal/dist may import math/rand (it wraps the stdlib Zipf
+#      sampler over its own Source). Everything else draws from streams.
+#   2. The integer-seed distribution constructors (dist.NewNormal,
+#      dist.NewLogNormal, dist.NewBernoulli) are dist-internal legacy
+#      surface: production code builds distributions with the *From
+#      constructors on a labeled sub-stream.
+#   3. Stream roots (dist.NewStream) are born only where experiments are
+#      born: internal/experiments (testbeds/exhibits), cmd/ (flag
+#      parsing) and examples/. Library packages receive sub-streams;
+#      they never mint roots.
+#
+# Test files (_test.go) are exempt: tests construct fixture roots freely.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Enumerate non-test Go files, tracked or not, excluding vendored paths.
+files=$(find . -name '*.go' ! -name '*_test.go' -not -path './.git/*' | sed 's|^\./||')
+
+for f in $files; do
+  case "$f" in
+    internal/dist/*) continue ;;
+  esac
+  if grep -qE '"math/rand(/v2)?"' "$f"; then
+    echo "seed-audit: $f imports math/rand — draw from a labeled dist.Stream instead" >&2
+    fail=1
+  fi
+  if grep -nE 'dist\.New(Normal|LogNormal|Bernoulli)\(' "$f" >&2; then
+    echo "seed-audit: $f constructs a distribution from a raw integer seed — use dist.*From on a labeled sub-stream" >&2
+    fail=1
+  fi
+  case "$f" in
+    internal/experiments/*|cmd/*|examples/*) continue ;;
+  esac
+  if grep -nE 'dist\.NewStream\(' "$f" >&2; then
+    echo "seed-audit: $f mints a stream root — accept a *dist.Stream (or derive via dist.Unseeded) instead" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "seed-audit: FAILED — the seeding spine has a leak (see DESIGN.md 'Seeding spine')" >&2
+  exit 1
+fi
+echo "seed-audit: ok"
