@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-compare seed-audit ci
+.PHONY: build test race vet bench bench-compare seed-audit doc-audit ci
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,13 @@ bench-compare:
 	bash -o pipefail -c "$(GO) test -bench=. -benchtime=3x -run '^$$' . | $(GO) run ./cmd/benchcompare"
 
 # Seeding-spine lint: no math/rand and no raw integer seeds outside
-# internal/dist; stream roots only where experiments are born.
+# internal/dist; stream roots only where experiments are born; no clock
+# reads, stream draws or data-service calls inside Compute closures.
 seed-audit:
 	bash tools/seed-audit.sh
 
-ci: build vet seed-audit test race bench-compare
+# Documentation lint: every package carries a real package comment.
+doc-audit:
+	$(GO) run ./cmd/doclint .
+
+ci: build vet seed-audit doc-audit test race bench-compare

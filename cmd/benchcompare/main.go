@@ -5,7 +5,7 @@
 //
 // Usage (see `make bench-compare`):
 //
-//	go test -bench=. -benchtime=3x -run '^$' . | benchcompare [-baseline BENCH_baseline.json]
+//	go test -bench=. -benchtime=3x -run '^$' . | benchcompare [-baseline BENCH_baseline.json] [-write fresh.json]
 //
 // A regression must exceed both the relative threshold (-max-regress,
 // default 10%) and the absolute floor (-floor, default 25ms) to fail the
@@ -16,6 +16,14 @@
 // run (renames, partially-crashed suites) fail the gate, so the baseline
 // gets regenerated deliberately (see BENCH_baseline.json's "command"
 // field).
+//
+// Since the parallel compute phase landed, exhibit wall times depend on
+// core count: the comparison header prints the current GOMAXPROCS/NumCPU
+// next to the baseline's recorded parallelism, and a mismatch is called
+// out so a "regression" measured on fewer cores than the baseline reads
+// as what it is. -write records the run as a fresh baseline-format JSON
+// (CI uploads it as a per-PR artifact, making the perf trajectory
+// auditable without regenerating the committed baseline).
 package main
 
 import (
@@ -25,13 +33,21 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
+	"time"
 )
 
 type baseline struct {
-	Recorded string             `json:"recorded"`
-	Command  string             `json:"command"`
-	NsPerOp  map[string]float64 `json:"ns_per_op"`
+	Recorded   string             `json:"recorded"`
+	Command    string             `json:"command"`
+	Go         string             `json:"go,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	GoMaxProcs int                `json:"gomaxprocs,omitempty"`
+	NumCPU     int                `json:"num_cpu,omitempty"`
+	Clock      string             `json:"clock,omitempty"`
+	Note       string             `json:"note,omitempty"`
+	NsPerOp    map[string]float64 `json:"ns_per_op"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
@@ -40,6 +56,7 @@ func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline timings file")
 	maxRegress := flag.Float64("max-regress", 10, "max allowed regression in percent")
 	floor := flag.Duration("floor", 25_000_000, "absolute slowdown a regression must also exceed")
+	writePath := flag.String("write", "", "also record this run as a baseline-format JSON at the given path")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*basePath)
@@ -74,6 +91,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The compute phase makes the long-pole exhibits scale with cores, so
+	// a delta is only meaningful against the parallelism it was recorded
+	// at. Print both sides; flag a mismatch loudly.
+	procs, cores := runtime.GOMAXPROCS(0), runtime.NumCPU()
+	fmt.Printf("benchcompare: this run GOMAXPROCS=%d NumCPU=%d; baseline GOMAXPROCS=%d NumCPU=%d\n",
+		procs, cores, base.GoMaxProcs, base.NumCPU)
+	if base.GoMaxProcs != 0 && base.GoMaxProcs != procs {
+		fmt.Printf("benchcompare: NOTE core count differs from baseline — compute-phase exhibits (MapReduce, Ablation) shift with parallelism\n")
+	}
+
+	if *writePath != "" {
+		fresh := baseline{
+			Recorded: time.Now().UTC().Format("2006-01-02"),
+			Command:  base.Command,
+			Go:       runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			// CPU model is unknowable portably from here; leave it empty
+			// rather than inherit the committed baseline's machine.
+			GoMaxProcs: procs,
+			NumCPU:     cores,
+			Clock:      base.Clock,
+			Note:       "fresh run recorded by benchcompare -write (per-PR artifact); compare against the committed baseline at matching GOMAXPROCS",
+			NsPerOp:    got,
+		}
+		out, err := json.MarshalIndent(fresh, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*writePath, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: writing %s: %v\n", *writePath, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcompare: wrote fresh timings to %s\n", *writePath)
+	}
+
 	failures := 0
 	for name, ref := range base.NsPerOp {
 		cur, ok := got[name]
@@ -102,8 +153,8 @@ func main() {
 		}
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) regressed beyond %.0f%% vs %s (recorded %s)\n",
-			failures, *maxRegress, *basePath, base.Recorded)
+		fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) regressed beyond %.0f%% vs %s (recorded %s at GOMAXPROCS=%d)\n",
+			failures, *maxRegress, *basePath, base.Recorded, base.GoMaxProcs)
 		os.Exit(1)
 	}
 	fmt.Printf("benchcompare: all %d benchmarks within %.0f%% of baseline\n", len(got), *maxRegress)

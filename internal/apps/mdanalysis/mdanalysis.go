@@ -55,6 +55,14 @@ func dist2(a, b Point3) float64 {
 
 // HausdorffNaive computes the symmetric Hausdorff distance between two
 // point sets with the textbook O(n·m) double scan.
+//
+// All the analysis kernels in this package (HausdorffNaive,
+// HausdorffEarlyBreak, DistanceOps, RMSD, RMSDSeries, LeafletFinder) are
+// pure CPU over read-only frames — no clock reads, no stream draws, no
+// shared mutation — and therefore safe to run inside a parallel compute
+// phase (vclock.Compute / core.TaskContext.Compute), which is how the E11
+// ablation scales them across real cores. The Generate* helpers draw from
+// a stream and are NOT pure: call them on the executor token.
 func HausdorffNaive(a, b Frame) float64 {
 	return math.Sqrt(math.Max(directedMax(a, b, false), directedMax(b, a, false)))
 }

@@ -31,7 +31,10 @@ func GenerateCorpus(nSplits, wordsPerSplit, vocab int, s *dist.Stream) []string 
 	return out
 }
 
-// Map tokenizes a split and emits (word, 1).
+// Map tokenizes a split and emits (word, 1). It is a pure CPU kernel —
+// no clock reads, no stream draws, no shared mutation — so the MapReduce
+// engine runs it inside a parallel compute phase (vclock.Compute) and
+// map tasks use real cores under the virtual-time executor.
 func Map(_ context.Context, _ string, value string, emit func(k, v string)) error {
 	for _, w := range strings.Fields(value) {
 		emit(w, "1")
@@ -39,7 +42,8 @@ func Map(_ context.Context, _ string, value string, emit func(k, v string)) erro
 	return nil
 }
 
-// Reduce sums counts per word. It doubles as the combiner.
+// Reduce sums counts per word. It doubles as the combiner. Like Map it is
+// a pure CPU kernel, safe inside a parallel compute phase.
 func Reduce(_ context.Context, key string, values []string, emit func(k, v string)) error {
 	sum := 0
 	for _, v := range values {

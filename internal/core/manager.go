@@ -509,12 +509,15 @@ func (m *Manager) executeUnit(ctx context.Context, p *Pilot, cu *ComputeUnit) {
 	m.notify(cu, UnitRunning)
 
 	tc := TaskContext{
-		Unit:   cu,
-		Cores:  cu.desc.Cores,
-		Site:   site,
-		Alloc:  p.allocation(),
-		Data:   m.cfg.Data,
-		Sleep:  m.cfg.Clock.Sleep,
+		Unit:  cu,
+		Cores: cu.desc.Cores,
+		Site:  site,
+		Alloc: p.allocation(),
+		Data:  m.cfg.Data,
+		Sleep: m.cfg.Clock.Sleep,
+		Compute: func(ctx context.Context, fn func()) bool {
+			return vclock.Compute(m.cfg.Clock, ctx, fn)
+		},
 		Stream: cu.stream,
 	}
 	err := cu.desc.Run(runCtx, tc)

@@ -79,6 +79,16 @@ type TaskContext struct {
 	// Sleep blocks for a modeled duration, honoring cancellation — tasks
 	// use it to model compute phases without binding to wall time.
 	Sleep func(ctx context.Context, d time.Duration) bool
+	// Compute runs a side-effect-free CPU closure as a parallel compute
+	// phase: on the virtual clock the task releases the executor's
+	// single-runner token, fn executes with real parallelism alongside
+	// other tasks' compute phases, and the task re-enters the schedule at
+	// the same virtual instant — so results stay bit-reproducible while
+	// multi-core hardware is actually used. fn must not read the clock,
+	// sleep, draw from streams, touch the data service, or mutate shared
+	// state (see DESIGN.md "Parallel compute phase"). Returns false,
+	// without running fn, if ctx is already canceled.
+	Compute func(ctx context.Context, fn func()) bool
 	// Stream is the unit's randomness identity on the seeding spine (the
 	// "unit"/<ordinal> child of the manager's stream). Task bodies draw
 	// from it — never from ambient sources — so their stochastic behavior

@@ -37,6 +37,14 @@ type Stage struct {
 	InputData []string
 	// Run is the task body.
 	Run TaskFunc
+	// Pure marks Run as a side-effect-free CPU kernel: the engine then
+	// executes it as a parallel compute phase (TaskContext.Compute), so
+	// the stage's tasks use real cores under the virtual-time executor
+	// while results stay bit-reproducible. A pure Run must not use
+	// tc.Sleep, tc.Stream, tc.Data, or the clock (see DESIGN.md "Parallel
+	// compute phase"); stages that model time or stage data leave this
+	// false and call tc.Compute themselves around their CPU sections.
+	Pure bool
 	// MaxRetries is the per-task retry budget.
 	MaxRetries int
 }
@@ -228,7 +236,14 @@ func runStage(ctx context.Context, mgr *core.Manager, s *Stage) (StageResult, er
 			InputData:  s.InputData,
 			MaxRetries: s.MaxRetries,
 			Run: func(ctx context.Context, tc core.TaskContext) error {
-				return s.Run(ctx, tc, i)
+				if !s.Pure {
+					return s.Run(ctx, tc, i)
+				}
+				var err error
+				if !tc.Compute(ctx, func() { err = s.Run(ctx, tc, i) }) {
+					return ctx.Err()
+				}
+				return err
 			},
 		})
 		if err != nil {

@@ -220,3 +220,73 @@ func TestStageResultTiming(t *testing.T) {
 		t.Fatalf("elapsed = %v, want ≈1s modeled", res["s"].Elapsed())
 	}
 }
+
+// newVirtualMgr builds a manager on a Virtual clock with the calling test
+// goroutine adopted as the driver participant.
+func newVirtualMgr(t *testing.T) (*core.Manager, *vclock.Virtual) {
+	t.Helper()
+	clock := vclock.NewVirtual(vclock.Epoch)
+	clock.Adopt()
+	t.Cleanup(clock.Leave)
+	reg := saga.NewRegistry()
+	reg.Register(saga.NewLocalService("lh", 32, clock))
+	mgr := core.NewManager(core.Config{Registry: reg, Clock: clock})
+	t.Cleanup(mgr.Close)
+	p, err := mgr.SubmitPilot(core.PilotDescription{Resource: "local://lh", Cores: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WaitRunning(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return mgr, clock
+}
+
+// TestPureStageRunsOffToken pins the Stage.Pure contract on the virtual
+// clock: pure kernels execute as a parallel compute phase (real CPU,
+// run-varying wall durations) yet their results and the stage's modeled
+// timing are deterministic, and modeled time does not advance across a
+// stage that only computes.
+func TestPureStageRunsOffToken(t *testing.T) {
+	mgr, clock := newVirtualMgr(t)
+	start := clock.Now()
+	g := New()
+	results := make([]uint64, 8)
+	g.MustAdd(Stage{Name: "kernel", Parallelism: len(results), Pure: true,
+		Run: func(_ context.Context, _ core.TaskContext, idx int) error {
+			acc := uint64(idx + 1)
+			for i := 0; i < 50_000; i++ {
+				acc = acc*6364136223846793005 + 1442695040888963407
+			}
+			results[idx] = acc
+			return nil
+		}})
+	res, err := g.Run(context.Background(), mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Now(); !got.Equal(start) {
+		t.Errorf("pure stage advanced modeled time: %v -> %v", start, got)
+	}
+	if res["kernel"].Elapsed() != 0 {
+		t.Errorf("pure stage modeled elapsed = %v, want 0", res["kernel"].Elapsed())
+	}
+	for i, r := range results {
+		if r == 0 {
+			t.Errorf("results[%d] unset: kernel did not run", i)
+		}
+	}
+}
+
+// TestPureStageErrorPropagates checks that a failing pure kernel still
+// aborts the graph with its own error.
+func TestPureStageErrorPropagates(t *testing.T) {
+	mgr, _ := newVirtualMgr(t)
+	g := New()
+	boom := errors.New("kernel exploded")
+	g.MustAdd(Stage{Name: "bad", Pure: true,
+		Run: func(context.Context, core.TaskContext, int) error { return boom }})
+	if _, err := g.Run(context.Background(), mgr); err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped kernel error", err)
+	}
+}

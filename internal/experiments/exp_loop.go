@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"gopilot/internal/apps/enkf"
@@ -146,8 +147,7 @@ func AblationAlgorithm(scale float64) (*metrics.Table, error) {
 			return err
 		}
 		totalOps := 0
-		var opsMu chan struct{} = make(chan struct{}, 1)
-		opsMu <- struct{}{}
+		var opsMu sync.Mutex
 		wallStart := time.Now()
 		units := make([]*core.ComputeUnit, 0, pairs)
 		for i := 0; i < pairs; i++ {
@@ -155,17 +155,25 @@ func AblationAlgorithm(scale float64) (*metrics.Table, error) {
 			u, err := mgr.SubmitUnit(core.UnitDescription{
 				Name: fmt.Sprintf("hd-%d", i),
 				Run: func(ctx context.Context, tc core.TaskContext) error {
-					var d float64
-					if early {
-						d = mdanalysis.HausdorffEarlyBreak(a, b)
-					} else {
-						d = mdanalysis.HausdorffNaive(a, b)
+					// The Hausdorff scans are pure CPU over shared read-only
+					// frames: run them as a parallel compute phase so the
+					// scaled-out variants use real cores. Only the ops
+					// accumulation — shared mutation — happens back on the
+					// token, under a mutex for the non-virtual clock modes.
+					var ops int
+					if !tc.Compute(ctx, func() {
+						if early {
+							_ = mdanalysis.HausdorffEarlyBreak(a, b)
+						} else {
+							_ = mdanalysis.HausdorffNaive(a, b)
+						}
+						ops = mdanalysis.DistanceOps(a, b, early)
+					}) {
+						return ctx.Err()
 					}
-					_ = d
-					ops := mdanalysis.DistanceOps(a, b, early)
-					<-opsMu
+					opsMu.Lock()
 					totalOps += ops
-					opsMu <- struct{}{}
+					opsMu.Unlock()
 					return nil
 				},
 			})

@@ -83,6 +83,9 @@ func serverlessTrial(tb *Testbed, partitions, frames int, cost time.Duration) (f
 		Topic: topic, Function: "reconstruct", BatchSize: 64,
 		CostPerMessage: cost,
 		Stream:         tb.Root.Named("streaming/serverless/reconstruct"),
+		// Decode + Reconstruct is pure CPU per frame: run each invocation's
+		// batch as a parallel compute phase.
+		PureHandler: true,
 		Handler: func(_ context.Context, m streaming.Message) error {
 			f, err := lightsource.Decode(m.Value)
 			if err != nil {

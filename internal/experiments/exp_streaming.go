@@ -38,6 +38,9 @@ func StreamTrial(tb *Testbed, partitions, workers, frames int, handlerCost time.
 		Name: "ls", Topic: topic, Workers: workers,
 		Stream: tb.Root.Named("streaming/processor/ls"),
 		CostPerMessage: handlerCost,
+		// Decode + Reconstruct is pure CPU per frame: run each batch as a
+		// parallel compute phase so workers overlap on real cores.
+		PureHandler: true,
 		Handler: func(ctx context.Context, tc core.TaskContext, m streaming.Message) error {
 			f, err := lightsource.Decode(m.Value)
 			if err != nil {

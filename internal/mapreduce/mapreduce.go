@@ -29,11 +29,16 @@ type KeyValue struct {
 }
 
 // Mapper consumes one input record (key = record id, value = content) and
-// emits intermediate pairs.
+// emits intermediate pairs. Mappers run inside a parallel compute phase
+// (vclock's Compute purity contract): they must be pure CPU — no clock
+// reads, no modeled sleeps, no stream draws, no shared mutation. Model
+// per-task compute cost with Config.MapCost instead.
 type Mapper func(ctx context.Context, key, value string, emit func(k, v string)) error
 
 // Reducer consumes one key with all its values and emits output pairs.
-// The same signature serves as Combiner.
+// The same signature serves as Combiner. Reducers run inside a parallel
+// compute phase and must be pure CPU (see Mapper); model cost with
+// Config.ReduceCost.
 type Reducer func(ctx context.Context, key string, values []string, emit func(k, v string)) error
 
 // Config describes a MapReduce job.
@@ -165,31 +170,48 @@ func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
 }
 
 // runMapTask reads a split, applies the mapper, optionally combines, and
-// writes R partition files at the task's site.
+// writes R partition files at the task's site. The map/combine/encode
+// kernel — pure CPU over data already read — runs as a parallel compute
+// phase (tc.Compute), so concurrent map tasks use real cores; the data
+// reads/writes and the modeled MapCost stay on the executor token.
 func runMapTask(ctx context.Context, tc core.TaskContext, cfg Config, mapIdx int, inputID string) error {
 	content, err := tc.Data.Read(ctx, inputID, tc.Site)
 	if err != nil {
 		return fmt.Errorf("read split: %w", err)
 	}
-	parts := make([][]KeyValue, cfg.Reducers)
-	emit := func(k, v string) {
-		r := partitionOf(k, cfg.Reducers)
-		parts[r] = append(parts[r], KeyValue{k, v})
+	encoded := make([][]byte, cfg.Reducers)
+	var kernelErr error
+	if !tc.Compute(ctx, func() {
+		parts := make([][]KeyValue, cfg.Reducers)
+		emit := func(k, v string) {
+			r := partitionOf(k, cfg.Reducers)
+			parts[r] = append(parts[r], KeyValue{k, v})
+		}
+		if err := cfg.Map(ctx, inputID, string(content), emit); err != nil {
+			kernelErr = fmt.Errorf("map: %w", err)
+			return
+		}
+		for r := range parts {
+			kvs := parts[r]
+			if cfg.Combine != nil {
+				if kvs, err = combine(ctx, cfg.Combine, kvs); err != nil {
+					kernelErr = fmt.Errorf("combine: %w", err)
+					return
+				}
+			}
+			encoded[r] = Encode(kvs)
+		}
+	}) {
+		return ctx.Err()
 	}
-	if err := cfg.Map(ctx, inputID, string(content), emit); err != nil {
-		return fmt.Errorf("map: %w", err)
+	if kernelErr != nil {
+		return kernelErr
 	}
 	if cfg.MapCost > 0 && !tc.Sleep(ctx, cfg.MapCost) {
 		return ctx.Err()
 	}
-	for r := range parts {
-		kvs := parts[r]
-		if cfg.Combine != nil {
-			if kvs, err = combine(ctx, cfg.Combine, kvs); err != nil {
-				return fmt.Errorf("combine: %w", err)
-			}
-		}
-		if err := tc.Data.Write(ctx, partitionID(cfg.Name, mapIdx, r), Encode(kvs), tc.Site); err != nil {
+	for r := range encoded {
+		if err := tc.Data.Write(ctx, partitionID(cfg.Name, mapIdx, r), encoded[r], tc.Site); err != nil {
 			return fmt.Errorf("write partition: %w", err)
 		}
 	}
@@ -197,37 +219,55 @@ func runMapTask(ctx context.Context, tc core.TaskContext, cfg Config, mapIdx int
 }
 
 // runReduceTask fetches its partition from every map output (the shuffle),
-// groups by key, reduces, and writes one output data-unit.
+// groups by key, reduces, and writes one output data-unit. The shuffle
+// reads stay on the executor token (they pay modeled transfer costs); the
+// decode/group/sort/reduce/encode kernel runs as a parallel compute phase.
 func runReduceTask(ctx context.Context, tc core.TaskContext, cfg Config, r int, inputs []string, outID string) error {
-	var all []KeyValue
-	for _, id := range inputs {
+	contents := make([][]byte, len(inputs))
+	for i, id := range inputs {
 		content, err := tc.Data.Read(ctx, id, tc.Site)
 		if err != nil {
 			return fmt.Errorf("shuffle read %s: %w", id, err)
 		}
-		kvs, err := Decode(content)
-		if err != nil {
-			return fmt.Errorf("decode %s: %w", id, err)
-		}
-		all = append(all, kvs...)
+		contents[i] = content
 	}
-	grouped := Group(all)
-	var out []KeyValue
-	emit := func(k, v string) { out = append(out, KeyValue{k, v}) }
-	keys := make([]string, 0, len(grouped))
-	for k := range grouped {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if err := cfg.Reduce(ctx, k, grouped[k], emit); err != nil {
-			return fmt.Errorf("reduce key %q: %w", k, err)
+	var encoded []byte
+	var kernelErr error
+	if !tc.Compute(ctx, func() {
+		var all []KeyValue
+		for i, content := range contents {
+			kvs, err := Decode(content)
+			if err != nil {
+				kernelErr = fmt.Errorf("decode %s: %w", inputs[i], err)
+				return
+			}
+			all = append(all, kvs...)
 		}
+		grouped := Group(all)
+		var out []KeyValue
+		emit := func(k, v string) { out = append(out, KeyValue{k, v}) }
+		keys := make([]string, 0, len(grouped))
+		for k := range grouped {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := cfg.Reduce(ctx, k, grouped[k], emit); err != nil {
+				kernelErr = fmt.Errorf("reduce key %q: %w", k, err)
+				return
+			}
+		}
+		encoded = Encode(out)
+	}) {
+		return ctx.Err()
+	}
+	if kernelErr != nil {
+		return kernelErr
 	}
 	if cfg.ReduceCost > 0 && !tc.Sleep(ctx, cfg.ReduceCost) {
 		return ctx.Err()
 	}
-	return tc.Data.Write(ctx, outID, Encode(out), tc.Site)
+	return tc.Data.Write(ctx, outID, encoded, tc.Site)
 }
 
 // combine groups and pre-reduces a map task's local output.
@@ -329,7 +369,13 @@ func Collect(ctx context.Context, mgr *core.Manager, res *Result) ([]KeyValue, e
 				errs[i] = err
 				return
 			}
-			kvs, err := Decode(content)
+			// Decoding is pure CPU over fetched bytes: run it off-token so
+			// concurrent output fetches decode in parallel.
+			var kvs []KeyValue
+			if !vclock.Compute(mgr.Clock(), ctx, func() { kvs, err = Decode(content) }) {
+				errs[i] = ctx.Err()
+				return
+			}
 			if err != nil {
 				errs[i] = err
 				return

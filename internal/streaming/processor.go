@@ -33,6 +33,14 @@ type ProcessorConfig struct {
 	BatchSize int
 	// Handler processes each message.
 	Handler HandlerFunc
+	// PureHandler marks Handler as a side-effect-free CPU kernel (no
+	// tc.Sleep, no clock reads, no stream draws, no shared mutation): the
+	// processor then runs each fetch batch's handler calls as one parallel
+	// compute phase, so workers reconstruct/decode on real cores under the
+	// virtual-time executor while latency accounting stays on the token
+	// and bit-reproducible. Handlers that model per-message time with
+	// tc.Sleep must leave this false.
+	PureHandler bool
 	// CostPerMessage is the modeled processing cost per message, charged
 	// once per fetch batch (sleeping per message would be distorted by OS
 	// timer granularity under aggressive virtual-time compression, exactly
@@ -198,7 +206,10 @@ func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []in
 
 // processBatch charges the batch's modeled processing cost, then runs the
 // handler (real computation) over each message and records its end-to-end
-// latency.
+// latency. With PureHandler set, the whole batch's handler calls execute
+// as one parallel compute phase: modeled time is pinned while they run,
+// so every message observes the same completion instant it would have on
+// the token, and concurrent workers' batches overlap on real cores.
 func (p *Processor) processBatch(ctx context.Context, tc core.TaskContext, clock vclock.Clock, batch []Message, jitter dist.Dist) error {
 	if p.cfg.CostPerMessage > 0 {
 		cost := time.Duration(len(batch)) * p.cfg.CostPerMessage
@@ -208,6 +219,27 @@ func (p *Processor) processBatch(ctx context.Context, tc core.TaskContext, clock
 		if !clock.Sleep(ctx, cost) {
 			return ctx.Err()
 		}
+	}
+	if p.cfg.PureHandler {
+		var herr error
+		if !vclock.Compute(clock, ctx, func() {
+			for _, m := range batch {
+				if err := p.cfg.Handler(ctx, tc, m); err != nil {
+					herr = fmt.Errorf("streaming: handler on %s[%d]@%d: %w", m.Topic, m.Partition, m.Offset, err)
+					return
+				}
+			}
+		}) {
+			return ctx.Err()
+		}
+		if herr != nil {
+			return herr
+		}
+		now := clock.Now()
+		for _, m := range batch {
+			p.record(now.Sub(m.Published))
+		}
+		return nil
 	}
 	for _, m := range batch {
 		if err := p.cfg.Handler(ctx, tc, m); err != nil {

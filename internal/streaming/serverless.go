@@ -41,6 +41,11 @@ type ServerlessConfig struct {
 	// Handler is the real computation applied to each message inside the
 	// invocation.
 	Handler func(ctx context.Context, msg Message) error
+	// PureHandler marks Handler as a side-effect-free CPU kernel: each
+	// invocation's handler loop then runs as one parallel compute phase
+	// (see ProcessorConfig.PureHandler), overlapping invocations on real
+	// cores without disturbing the virtual-time schedule.
+	PureHandler bool
 }
 
 // ServerlessProcessor drives a topic through function invocations, one
@@ -137,6 +142,21 @@ func (p *ServerlessProcessor) dispatch(ctx context.Context, part int, jitter dis
 				if !clock.Sleep(ictx, cost) {
 					return ictx.Err()
 				}
+			}
+			if p.cfg.PureHandler {
+				var herr error
+				if !vclock.Compute(clock, ictx, func() {
+					for _, m := range batch {
+						if err := p.cfg.Handler(ictx, m); err != nil {
+							herr = fmt.Errorf("streaming: serverless handler at %s[%d]@%d: %w",
+								m.Topic, m.Partition, m.Offset, err)
+							return
+						}
+					}
+				}) {
+					return ictx.Err()
+				}
+				return herr
 			}
 			for _, m := range batch {
 				if err := p.cfg.Handler(ictx, m); err != nil {

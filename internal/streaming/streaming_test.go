@@ -367,3 +367,71 @@ func TestProduceAtRate(t *testing.T) {
 		t.Errorf("achieved rate %.0f exceeds 100 msg/s target by too much", rate)
 	}
 }
+
+// pureHandlerRun drives one full produce→process cycle on a fresh Virtual
+// clock with PureHandler set (real CPU per message) and fingerprints every
+// externally visible measurement.
+func pureHandlerRun(t *testing.T) string {
+	t.Helper()
+	clock := vclock.NewVirtual(vclock.Epoch)
+	clock.Adopt()
+	defer clock.Leave()
+	b := NewBroker(BrokerConfig{
+		Name: "b", AppendCost: time.Millisecond, FetchLatency: time.Millisecond, Clock: clock,
+	})
+	defer b.Close()
+	if err := b.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	reg := saga.NewRegistry()
+	reg.Register(saga.NewLocalService("lh", 32, clock))
+	mgr := core.NewManager(core.Config{Registry: reg, Clock: clock})
+	defer mgr.Close()
+	if _, err := mgr.SubmitPilot(core.PilotDescription{Resource: "local://lh", Cores: 8}); err != nil {
+		t.Fatal(err)
+	}
+	proc, err := StartProcessor(context.Background(), mgr, b, ProcessorConfig{
+		Name: "p", Topic: "t", Workers: 4, BatchSize: 8,
+		CostPerMessage: 2 * time.Millisecond,
+		PureHandler:    true,
+		Handler: func(_ context.Context, _ core.TaskContext, m Message) error {
+			acc := uint64(len(m.Value)) // real CPU, pure
+			for i := 0; i < 20_000; i++ {
+				acc = acc*6364136223846793005 + 1442695040888963407
+			}
+			if acc == 42 { // keep the loop alive
+				return errors.New("unreachable")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	if _, err := Produce(context.Background(), b, "t", n, 0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := proc.WaitProcessed(ctx, n); err != nil {
+		t.Fatalf("processed %d/%d: %v", proc.Processed(), n, err)
+	}
+	proc.Stop()
+	lat := proc.LatencyStats()
+	return fmt.Sprintf("processed=%d tput=%.6f lat{mean=%.9f p50=%.9f p95=%.9f max=%.9f}",
+		proc.Processed(), proc.Throughput(), lat.Mean, lat.Median, lat.P95, lat.Max)
+}
+
+// TestPureHandlerDeterministicOnVirtualClock pins the compute-phase
+// contract at the streaming layer: batches processed as parallel compute
+// phases (real CPU, wall-time-racy completion) must leave throughput and
+// every latency quantile bit-identical across runs.
+func TestPureHandlerDeterministicOnVirtualClock(t *testing.T) {
+	a := pureHandlerRun(t)
+	for i := 0; i < 4; i++ {
+		if b := pureHandlerRun(t); b != a {
+			t.Fatalf("run %d diverged:\n%s\n%s", i+2, a, b)
+		}
+	}
+}

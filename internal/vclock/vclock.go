@@ -14,7 +14,9 @@
 //   - Virtual: a conservative virtual-time executor (virtual.go) that
 //     advances to the earliest sleeper deadline whenever all registered
 //     goroutines are quiescent — modeled sleeps cost zero wall time and
-//     same-seed runs are bit-reproducible.
+//     same-seed runs are bit-reproducible. Pure CPU kernels escape its
+//     single-runner serialization through the deterministic parallel
+//     compute phase (compute.go): real cores, same schedule.
 //
 // Experiment reports always quote modeled durations, so results read like
 // the paper's (seconds and minutes, not microseconds).

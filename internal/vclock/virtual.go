@@ -57,6 +57,14 @@ type Virtual struct {
 	blocked      int
 	participants int
 	stalls       uint64
+
+	// Parallel compute phase (compute.go). computing counts Compute bodies
+	// currently executing off-token; computeDone holds finished bodies
+	// awaiting deterministic readmission; computeSeq numbers Compute calls
+	// in token order (the spawn ordinal that fixes the join order).
+	computing   int
+	computeSeq  uint64
+	computeDone []*parker
 }
 
 // grant is a one-shot execution-token handoff channel (buffered so the
@@ -300,11 +308,31 @@ func (c *Virtual) nudge() {
 // ---------------------------------------------------------------------------
 
 // scheduleLocked hands the execution token to the next runnable
-// participant; with none runnable it sweeps canceled waiters, then
-// advances modeled time to the earliest sleeper. Caller holds c.mu.
+// participant; with none runnable it readmits any completed compute phase,
+// sweeps canceled waiters, then advances modeled time to the earliest
+// sleeper. Caller holds c.mu.
 func (c *Virtual) scheduleLocked() {
 	if c.hasCurrent {
 		return
+	}
+	if len(c.runq) == 0 && (c.computing > 0 || len(c.computeDone) > 0) {
+		// An off-token compute phase is pending. Readmission may only
+		// happen here — the run queue is empty, so this juncture is reached
+		// at a schedule-determined point — and only once *every* in-flight
+		// body has finished, so the admitted set never depends on real
+		// completion order. Until then the world holds still: no grant, no
+		// cancellation sweep, and above all no time advance — Compute
+		// rejoins at the exact virtual instant it left.
+		if c.computing > 0 {
+			return // the last finishing body re-runs the scheduler
+		}
+		for i := 1; i < len(c.computeDone); i++ {
+			for j := i; j > 0 && c.computeDone[j].seq < c.computeDone[j-1].seq; j-- {
+				c.computeDone[j], c.computeDone[j-1] = c.computeDone[j-1], c.computeDone[j]
+			}
+		}
+		c.runq = append(c.runq, c.computeDone...)
+		c.computeDone = nil
 	}
 	if len(c.runq) == 0 {
 		// Before letting time move (or stalling), deliver pending

@@ -14,6 +14,12 @@
 #      born: internal/experiments (testbeds/exhibits), cmd/ (flag
 #      parsing) and examples/. Library packages receive sub-streams;
 #      they never mint roots.
+#   4. Compute closures are pure (DESIGN.md "Parallel compute phase"):
+#      a `Compute(... func() {` block must not read the clock, sleep in
+#      modeled time, draw from streams, or touch the data service. A
+#      violation would not crash — it would silently break bit-
+#      reproducibility (the draw or clock read happens off the executor
+#      token) — so it fails `make ci` here instead.
 #
 # Test files (_test.go) are exempt: tests construct fixture roots freely.
 set -u
@@ -36,6 +42,33 @@ for f in $files; do
     echo "seed-audit: $f constructs a distribution from a raw integer seed — use dist.*From on a labeled sub-stream" >&2
     fail=1
   fi
+  # Rule 4: purity inside Compute closures. Track brace depth from any
+  # line that opens a `Compute(..., func(...) {` literal; until the block
+  # closes, flag clock reads, modeled sleeps, stream draws and
+  # data-service calls. (vclock itself implements Compute and is skipped.)
+  case "$f" in
+    internal/vclock/*) ;;
+    *)
+      impure=$(awk '
+        inblock {
+          if ($0 ~ /tc\.Stream|\.Now\(\)|Clock\(\)|tc\.Sleep\(|clock\.Sleep\(|\.Sample\(|tc\.Data\.|Data\(\)\./)
+            printf "%d: %s\n", FNR, $0
+          depth += gsub(/{/, "{") - gsub(/}/, "}")
+          if (depth <= 0) inblock = 0
+          next
+        }
+        /Compute\(/ && /func\(/ {
+          depth = gsub(/{/, "{") - gsub(/}/, "}")
+          if (depth > 0) inblock = 1
+        }
+      ' "$f")
+      if [ -n "$impure" ]; then
+        echo "seed-audit: $f uses the clock/streams/data inside a Compute closure — Compute bodies must be pure CPU:" >&2
+        echo "$impure" | sed "s|^|seed-audit:   $f:|" >&2
+        fail=1
+      fi
+      ;;
+  esac
   case "$f" in
     internal/experiments/*|cmd/*|examples/*) continue ;;
   esac
