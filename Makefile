@@ -15,14 +15,16 @@ vet:
 	$(GO) vet ./...
 
 # One iteration per exhibit: checks the benchmarks run end to end and
-# prints the per-exhibit wall times (compare against BENCH_baseline.json).
+# prints the per-exhibit wall times and allocations (compare against
+# BENCH_baseline.json).
 bench:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' .
 
 # Gate against BENCH_baseline.json: three iterations per exhibit, fail on
-# >10% sustained regression (with a 25ms absolute floor for noise).
+# >10% sustained regression (25ms absolute floor for time; for the
+# streaming exhibits listed in allocs_per_op, also on allocs/op growth).
 bench-compare:
-	bash -o pipefail -c "$(GO) test -bench=. -benchtime=3x -run '^$$' . | $(GO) run ./cmd/benchcompare"
+	bash -o pipefail -c "$(GO) test -bench=. -benchtime=3x -benchmem -run '^$$' . | $(GO) run ./cmd/benchcompare"
 
 # Seeding-spine lint: no math/rand and no raw integer seeds outside
 # internal/dist; stream roots only where experiments are born; no clock

@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table- and figure-shaped exhibit of the
-// paper (DESIGN.md index E1–E12). Each benchmark executes the same
+// paper (DESIGN.md index E1–E13). Each benchmark executes the same
 // experiment code as `cmd/experiments`; reported ns/op is wall time of one
 // full experiment at the benchmark scale factor. Run with:
 //
@@ -103,6 +103,19 @@ func BenchmarkTable2_Serverless(b *testing.B) {
 func BenchmarkTable2_ThroughputModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.ThroughputModel(benchScale, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreaming_Million regenerates the million-message data-plane
+// exhibit (E13): 10⁶ messages through 8 partitions and a 4→5→4-worker
+// consumer group with backpressure. Its ns/op and allocs/op pin the
+// segmented zero-copy log's budget — run with -benchmem (make bench), and
+// see BENCH_baseline.json's allocs_per_op gate.
+func BenchmarkStreaming_Million(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MillionMessages(benchScale, 1_000_000); err != nil {
 			b.Fatal(err)
 		}
 	}

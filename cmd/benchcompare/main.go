@@ -24,6 +24,14 @@
 // as what it is. -write records the run as a fresh baseline-format JSON
 // (CI uploads it as a per-PR artifact, making the perf trajectory
 // auditable without regenerating the committed baseline).
+//
+// Besides ns/op, the gate also compares allocs/op (requires -benchmem
+// output) for every benchmark listed in the baseline's "allocs_per_op"
+// map — the streaming exhibits live there, locking in the segmented
+// log's zero-copy win: a change that reintroduces per-message copies
+// fails CI even if it is fast enough to slip past the time gate. Allocs
+// are near-deterministic, so the relative threshold is shared with ns/op
+// but the absolute floor is its own flag (-alloc-floor, default 512/op).
 package main
 
 import (
@@ -48,14 +56,19 @@ type baseline struct {
 	Clock      string             `json:"clock,omitempty"`
 	Note       string             `json:"note,omitempty"`
 	NsPerOp    map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp lists the benchmarks whose allocation count is gated
+	// (the streaming data-plane exhibits). Benchmarks absent from this
+	// map are timed but not alloc-checked.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op(?:\s+([0-9.]+)\s+B/op\s+([0-9.]+)\s+allocs/op)?`)
 
 func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline timings file")
 	maxRegress := flag.Float64("max-regress", 10, "max allowed regression in percent")
 	floor := flag.Duration("floor", 25_000_000, "absolute slowdown a regression must also exceed")
+	allocFloor := flag.Float64("alloc-floor", 512, "absolute allocs/op growth an alloc regression must also exceed")
 	writePath := flag.String("write", "", "also record this run as a baseline-format JSON at the given path")
 	flag.Parse()
 
@@ -71,14 +84,19 @@ func main() {
 	}
 
 	got := map[string]float64{}
+	gotAllocs := map[string]float64{}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass the bench output through
 		if m := benchLine.FindStringSubmatch(line); m != nil {
-			v, err := strconv.ParseFloat(m[2], 64)
-			if err == nil {
+			if v, err := strconv.ParseFloat(m[2], 64); err == nil {
 				got[m[1]] = v
+			}
+			if m[4] != "" {
+				if a, err := strconv.ParseFloat(m[4], 64); err == nil {
+					gotAllocs[m[1]] = a
+				}
 			}
 		}
 	}
@@ -113,6 +131,16 @@ func main() {
 			Clock:      base.Clock,
 			Note:       "fresh run recorded by benchcompare -write (per-PR artifact); compare against the committed baseline at matching GOMAXPROCS",
 			NsPerOp:    got,
+		}
+		// The artifact records allocs only where the committed baseline
+		// gates them, so the two files stay directly diffable.
+		if len(base.AllocsPerOp) > 0 {
+			fresh.AllocsPerOp = map[string]float64{}
+			for name := range base.AllocsPerOp {
+				if a, ok := gotAllocs[name]; ok {
+					fresh.AllocsPerOp[name] = a
+				}
+			}
 		}
 		out, err := json.MarshalIndent(fresh, "", "  ")
 		if err == nil {
@@ -150,6 +178,24 @@ func main() {
 	for name := range got {
 		if _, ok := base.NsPerOp[name]; !ok {
 			fmt.Printf("benchcompare: WARN %s not in baseline (regenerate %s)\n", name, *basePath)
+		}
+	}
+	// Allocation gate: only benchmarks the baseline lists are checked.
+	for name, ref := range base.AllocsPerOp {
+		cur, ok := gotAllocs[name]
+		if !ok {
+			fmt.Printf("benchcompare: FAIL %s has a gated allocs/op but the run reported none (missing -benchmem?)\n", name)
+			failures++
+			continue
+		}
+		deltaPct := (cur - ref) / ref * 100
+		if cur > ref*(1+*maxRegress/100) && cur-ref > *allocFloor {
+			fmt.Printf("benchcompare: FAIL %s allocs regressed %+.1f%% (%.0f -> %.0f allocs/op)\n",
+				name, deltaPct, ref, cur)
+			failures++
+		} else {
+			fmt.Printf("benchcompare: ok   %s allocs %+.1f%% (%.0f -> %.0f allocs/op)\n",
+				name, deltaPct, ref, cur)
 		}
 	}
 	if failures > 0 {

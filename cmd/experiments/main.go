@@ -1,5 +1,5 @@
 // Command experiments regenerates every table- and figure-shaped result of
-// the paper's evaluation (DESIGN.md index E1–E12) on the simulated
+// the paper's evaluation (DESIGN.md index E1–E13) on the simulated
 // testbed, printing the same rows the paper reports.
 //
 // Usage:
@@ -80,6 +80,9 @@ func main() {
 		}},
 		{"ablation", "E11 — algorithm optimization vs scale-out (Hausdorff)", table(experiments.AblationAlgorithm)},
 		{"enkf", "E12 — adaptive EnKF ensemble (runtime task creation)", table(experiments.EnKFAdaptive)},
+		{"million", "E13 — million-message streaming data plane (consumer group, backpressure)", table(func(s float64) (*metrics.Table, error) {
+			return experiments.MillionMessages(s, 1_000_000)
+		})},
 	}
 
 	if *list {

@@ -39,7 +39,7 @@ func renderScrubbed(t *metrics.Table, drop ...string) string {
 	return b.String()
 }
 
-// TestSameSeedExhibitsBitIdentical runs every exhibit E1–E12 twice on the
+// TestSameSeedExhibitsBitIdentical runs every exhibit E1–E13 twice on the
 // virtual clock and requires bit-identical output — the ISSUE's acceptance
 // criterion that the conservative time-warp extends PR 1's determinism
 // from the perfmodel sims to the full concurrent runtime. Measured
@@ -77,6 +77,7 @@ func TestSameSeedExhibitsBitIdentical(t *testing.T) {
 		// legitimately nondeterministic cell in the whole evaluation.
 		{id: "E11_Ablation", run: tbl(AblationAlgorithm), drop: []string{"makespan_wall_ms"}},
 		{id: "E12_EnKF", run: tbl(EnKFAdaptive)},
+		{id: "E13_MillionMessages", run: tbl(func(s float64) (*metrics.Table, error) { return MillionMessages(s, 40_000) })},
 	}
 	for _, ex := range exhibits {
 		ex := ex

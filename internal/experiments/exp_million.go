@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gopilot/internal/core"
+	"gopilot/internal/metrics"
+	"gopilot/internal/streaming"
+	"gopilot/internal/vclock"
+)
+
+// MillionMessages is E13, the scale exhibit for the streaming data plane:
+// n messages (default 10⁶) through an 8-partition topic consumed by a
+// consumer group that starts at 4 workers, grows to 5 mid-run, and
+// shrinks back — two live rebalances — while per-partition
+// MaxInflightBytes backpressure throttles the producer to consumer
+// speed. The segmented zero-copy log and batch-amortized accounting are
+// what make the run complete in seconds of wall time on the virtual
+// clock, bit-identical per seed (BenchmarkStreaming_Million pins the
+// wall-time and allocation budget).
+func MillionMessages(scale float64, n int) (*metrics.Table, error) {
+	if n <= 0 {
+		n = 1_000_000
+	}
+	tb := NewTestbed(TestbedConfig{Scale: scale, QueueWaitMean: 5, Seed: 23})
+	defer tb.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	const (
+		partitions = 8
+		workers    = 4
+		payloadLen = 64
+	)
+	broker := streaming.NewBroker(streaming.BrokerConfig{
+		// 50k msg/s per partition: the producer alone could saturate the
+		// topic at 400k msg/s, so the consumers are the bottleneck and
+		// backpressure is what paces the run.
+		AppendCost:       20 * time.Microsecond,
+		FetchLatency:     time.Millisecond,
+		SegmentSize:      4096,
+		MaxInflightBytes: 256 << 10, // ≈4k in-flight messages per partition
+		Clock:            tb.Clock,
+	})
+	defer broker.Close()
+	const topic = "million"
+	if err := broker.CreateTopic(topic, partitions); err != nil {
+		return nil, err
+	}
+	mgr := tb.NewManager(nil)
+	if _, err := mgr.SubmitPilot(core.PilotDescription{
+		Name: "mm", Resource: "local://localhost", Cores: workers + 2, Walltime: 2 * time.Hour,
+	}); err != nil {
+		return nil, err
+	}
+
+	group, err := streaming.StartGroup(ctx, mgr, broker, streaming.GroupConfig{
+		Name: "mm", Topic: topic, Workers: workers, BatchSize: 2048,
+		// 100µs modeled per message: each partition drains at 10k msg/s,
+		// 5× slower than it fills, so the producer spends most of the run
+		// blocked on backpressure.
+		CostPerMessage: 100 * time.Microsecond,
+		PureHandler:    true,
+		Stream:         tb.Root.Named("streaming/group/mm"),
+		Handler: func(_ context.Context, _ core.TaskContext, m streaming.Message) error {
+			var acc byte // pure CPU: fold the payload
+			for _, b := range m.Value {
+				acc ^= b
+			}
+			if acc == 0xFF {
+				return fmt.Errorf("poisoned payload at offset %d", m.Offset)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	payload := make([]byte, payloadLen)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	// Bulk producer on its own participant: 4096-message batches through
+	// the zero-alloc PublishValues path, blocking in modeled time
+	// whenever a partition's in-flight bound is hit.
+	var produceRate float64
+	var produceErr error
+	done := vclock.NewEvent(tb.Clock)
+	tb.Go(func() {
+		defer done.Fire()
+		produceRate, produceErr = streaming.ProduceBatched(ctx, broker, topic, n, 0, payload, 4096)
+	})
+
+	// Two live rebalances at deterministic progress points: a fifth
+	// worker joins at one quarter, leaves at three quarters.
+	if err := group.WaitProcessed(ctx, int64(n/4)); err != nil {
+		return nil, fmt.Errorf("drained %d/%d before join: %w", group.Processed(), n, err)
+	}
+	joined, err := group.AddWorker()
+	if err != nil {
+		return nil, err
+	}
+	if err := group.WaitProcessed(ctx, int64(3*n/4)); err != nil {
+		return nil, fmt.Errorf("drained %d/%d before leave: %w", group.Processed(), n, err)
+	}
+	if err := group.RemoveWorker(joined); err != nil {
+		return nil, err
+	}
+	if err := group.WaitProcessed(ctx, int64(n)); err != nil {
+		return nil, fmt.Errorf("drained %d/%d: %w", group.Processed(), n, err)
+	}
+	if !done.Wait(ctx) {
+		return nil, ctx.Err()
+	}
+	if produceErr != nil {
+		return nil, produceErr
+	}
+	group.Stop()
+
+	lat := group.LatencyStats()
+	t := metrics.NewTable(
+		fmt.Sprintf("E13 — million-message data plane (%d msgs, %d partitions, group %d→%d→%d workers)",
+			n, partitions, workers, workers+1, workers),
+		"messages", "partitions", "workers", "rebalances", "produce_rate_msg_s", "throughput_msg_s", "latency_p50_s", "latency_p95_s")
+	t.AddRow(group.Processed(), partitions, len(group.Members()), group.Rebalances(),
+		fmt.Sprintf("%.0f", produceRate),
+		fmt.Sprintf("%.0f", group.Throughput()),
+		fmt.Sprintf("%.3f", lat.Median),
+		fmt.Sprintf("%.3f", lat.P95))
+	return t, nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMillionMessagesBitIdenticalAcrossFiveRuns is E13's acceptance
+// check: five same-seed runs of the scale exhibit — segmented log,
+// consumer-group join/leave rebalances, producer backpressure — must
+// render bit-identical tables (at a reduced message count; the full 10⁶
+// run is BenchmarkStreaming_Million's job).
+func TestMillionMessagesBitIdenticalAcrossFiveRuns(t *testing.T) {
+	if DefaultClockMode != ClockVirtual {
+		t.Skip("determinism is only guaranteed in virtual clock mode")
+	}
+	render := func() string {
+		tbl, err := MillionMessages(detScale, 40_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		b.WriteString(tbl.Title)
+		for _, row := range tbl.Rows {
+			b.WriteString("\n" + strings.Join(row, " | "))
+		}
+		return b.String()
+	}
+	ref := render()
+	if !strings.Contains(ref, "40000") {
+		t.Fatalf("run did not process all messages:\n%s", ref)
+	}
+	for i := 2; i <= 5; i++ {
+		if got := render(); got != ref {
+			t.Fatalf("run %d diverged:\n--- run 1 ---\n%s\n--- run %d ---\n%s", i, ref, i, got)
+		}
+	}
+}

@@ -3,7 +3,15 @@
 // per-partition ordering) plus pilot-managed stream processors. The broker
 // models per-partition append capacity as a queueing process in virtual
 // time, so the throughput-vs-partitions and latency-vs-load shapes of the
-// paper's streaming evaluation (E7/E8) emerge from first principles.
+// paper's streaming evaluation (E7/E8/E13) emerge from first principles.
+//
+// The data plane is built for million-message runs (DESIGN.md "Streaming
+// data plane"): each partition is a segmented append-only log of
+// fixed-size immutable segments, fetches return read-only views into
+// those segments instead of copying, and all modeled accounting (append
+// cost, long-poll RTT) is amortized per batch, so one PublishBatch or
+// FetchOrWait costs one scheduler interaction on vclock.Virtual no matter
+// how many messages it moves.
 package streaming
 
 import (
@@ -11,7 +19,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sort"
 	"sync"
 	"time"
 
@@ -19,6 +26,12 @@ import (
 )
 
 // Message is one record in a partitioned log.
+//
+// Messages returned by Fetch/FetchOrWait are read-only views into the
+// broker's log segments, and Key/Value alias the byte slices the producer
+// published: neither consumers nor producers may mutate them after the
+// publish call returns (the zero-copy aliasing contract, DESIGN.md
+// "Streaming data plane").
 type Message struct {
 	Topic     string
 	Partition int
@@ -39,9 +52,21 @@ type BrokerConfig struct {
 	// partition; it bounds per-partition throughput at 1/AppendCost msg/s.
 	// Default 100µs (≈10k msg/s per partition).
 	AppendCost time.Duration
-	// FetchLatency is the modeled cost per consumer fetch (long-poll RTT).
-	// Default 1ms.
+	// FetchLatency is the modeled cost per consumer long-poll round trip
+	// (charged once per Fetch/FetchOrWait call, however many messages the
+	// poll returns and however long it parks). Default 1ms.
 	FetchLatency time.Duration
+	// SegmentSize is the number of messages per log segment (default
+	// 4096). A segment's backing array is allocated once at full capacity
+	// and never reallocated, which is what makes fetched views stable.
+	SegmentSize int
+	// MaxInflightBytes bounds, per partition, the bytes published but not
+	// yet committed (see Commit). When the bound is hit, publishes to that
+	// partition block in modeled time until consumers commit — the
+	// backpressure that keeps a lagging consumer group from being buried.
+	// Zero disables backpressure (consumers that never commit, like plain
+	// Processors, then run unthrottled).
+	MaxInflightBytes int64
 	// Clock supplies virtual time; defaults to vclock.Real.
 	Clock vclock.Clock
 }
@@ -52,20 +77,44 @@ type Broker struct {
 
 	mu     sync.Mutex
 	topics map[string]*topic
+	order  []*topic // creation order: deterministic iteration for Close
 	closed bool
 }
 
 type topic struct {
 	name       string
 	partitions []*partition
-	rr         int // round-robin cursor for key-less publishes
+	// rr is the round-robin cursor for key-less publishes. It is shared
+	// mutable state across all producers of the topic, advanced under the
+	// broker lock while a batch's partitions are being assigned — so
+	// placement is a pure function of the topic-wide publish order. On
+	// vclock.Virtual that order is seed-determined, which makes key-less
+	// placement bit-identical across same-seed runs
+	// (TestKeylessPlacementDeterministicAcrossProducers); on real clocks
+	// concurrent producers race for the cursor and placement is only
+	// guaranteed to stay balanced, not reproducible.
+	rr int
+}
+
+// segment is a fixed-size run of the partition log. msgs is allocated at
+// full capacity once: appends never reallocate the backing array and
+// sealed entries are never rewritten, so a sub-slice handed to a consumer
+// remains valid and immutable while the writer keeps appending behind it.
+type segment struct {
+	msgs []Message
 }
 
 type partition struct {
 	mu       sync.Mutex
-	msgs     []Message
+	segs     []*segment
+	end      int64     // next offset to be written
 	nextFree time.Time // modeled time the partition finishes current appends
-	waiters  []*vclock.Event
+
+	committed int64 // offsets below this are consumer-acknowledged
+	inflight  int64 // bytes in [committed, end): published, not yet committed
+
+	waiters []*vclock.Event // consumers parked until data arrives
+	space   []*vclock.Event // producers parked until inflight drops
 }
 
 // ErrUnknownTopic is returned for operations on absent topics.
@@ -84,6 +133,9 @@ func NewBroker(cfg BrokerConfig) *Broker {
 	}
 	if cfg.FetchLatency <= 0 {
 		cfg.FetchLatency = time.Millisecond
+	}
+	if cfg.SegmentSize <= 0 {
+		cfg.SegmentSize = 4096
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = vclock.NewReal()
@@ -116,6 +168,7 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 		t.partitions[i] = &partition{}
 	}
 	b.topics[name] = t
+	b.order = append(b.order, t)
 	return nil
 }
 
@@ -146,77 +199,126 @@ func (b *Broker) topicByName(name string) (*topic, error) {
 // Publish appends one message, selecting the partition by key hash (or
 // round-robin for empty keys). It blocks, in modeled time, while the
 // partition works through its backlog — per-partition capacity is the
-// broker's bottleneck resource.
+// broker's bottleneck resource — and, under backpressure, while the
+// partition's in-flight bytes exceed MaxInflightBytes.
 func (b *Broker) Publish(ctx context.Context, topicName string, key, value []byte) (Message, error) {
-	msgs, err := b.PublishBatch(ctx, topicName, [][2][]byte{{key, value}})
+	out := make([]Message, 0, 1)
+	err := b.publish(ctx, topicName, 1, func(int) ([]byte, []byte) { return key, value }, &out)
 	if err != nil {
 		return Message{}, err
 	}
-	return msgs[0], nil
+	return out[0], nil
 }
 
-// PublishBatch appends a batch of (key, value) pairs, charging the
-// modeled append cost once per message but sleeping once per partition
-// batch — the batching real producers use to amortize overhead.
+// PublishBatch appends a batch of (key, value) pairs. The modeled append
+// cost is charged once per message, but each target partition takes one
+// lock, one waiter wake, and the producer one modeled sleep for the whole
+// batch — the amortization real producers use, and on vclock.Virtual ~N×
+// fewer scheduler interactions than per-message publishes. On context
+// cancellation mid-batch the messages already appended are returned along
+// with the error.
 func (b *Broker) PublishBatch(ctx context.Context, topicName string, kvs [][2][]byte) ([]Message, error) {
+	out := make([]Message, 0, len(kvs))
+	err := b.publish(ctx, topicName, len(kvs), func(i int) ([]byte, []byte) { return kvs[i][0], kvs[i][1] }, &out)
+	return out, err
+}
+
+// PublishValues appends a batch of key-less values without materializing
+// per-message results — the bulk-ingest fast path (zero allocations per
+// message beyond the log segments themselves). Accounting is identical to
+// PublishBatch.
+func (b *Broker) PublishValues(ctx context.Context, topicName string, values [][]byte) error {
+	return b.publish(ctx, topicName, len(values), func(i int) ([]byte, []byte) { return nil, values[i] }, nil)
+}
+
+// publish is the shared producer path: assign partitions (round-robin
+// cursor under the broker lock), then per target partition wait for
+// backpressure space, append the sub-batch to the segmented log and wake
+// consumers, and finally sleep once until the slowest partition has
+// worked through its backlog.
+func (b *Broker) publish(ctx context.Context, topicName string, n int, kv func(int) ([]byte, []byte), out *[]Message) error {
+	if n == 0 {
+		return nil
+	}
 	t, err := b.topicByName(topicName)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	now := b.cfg.Clock.Now()
+	nparts := len(t.partitions)
 
-	// Group the batch per target partition.
-	byPart := make(map[int][][2][]byte)
+	// Group the batch per target partition, in index order: consumer
+	// wake-up order below must not depend on randomized iteration.
+	perPart := make([][]int, nparts)
 	b.mu.Lock()
-	for _, kv := range kvs {
+	for i := 0; i < n; i++ {
+		k, _ := kv(i)
 		var p int
-		if len(kv[0]) > 0 {
-			p = partitionOf(kv[0], len(t.partitions))
+		if len(k) > 0 {
+			p = partitionOf(k, nparts)
 		} else {
-			p = t.rr % len(t.partitions)
+			p = t.rr % nparts
 			t.rr++
 		}
-		byPart[p] = append(byPart[p], kv)
+		perPart[p] = append(perPart[p], i)
 	}
 	b.mu.Unlock()
 
-	// Partitions absorb their sub-batches in parallel; the producer blocks
-	// until the slowest partition has caught up (one sleep, not one per
-	// partition). Partitions are visited in index order: byPart is a map,
-	// and consumer wake-up order must not depend on map iteration.
-	parts := make([]int, 0, len(byPart))
-	for p := range byPart {
-		parts = append(parts, p)
-	}
-	sort.Ints(parts)
-	out := make([]Message, 0, len(kvs))
+	clock := b.cfg.Clock
 	var latest time.Time
-	for _, p := range parts {
-		batch := byPart[p]
+	for p := 0; p < nparts; p++ {
+		idxs := perPart[p]
+		if len(idxs) == 0 {
+			continue
+		}
 		part := t.partitions[p]
-		busy := time.Duration(len(batch)) * b.cfg.AppendCost
-
+		var add int64
+		for _, i := range idxs {
+			k, v := kv(i)
+			add += int64(len(k) + len(v))
+		}
+		// Backpressure: park (in modeled time) until the partition has
+		// room. An idle partition always admits at least one batch, so a
+		// batch larger than the whole bound cannot deadlock.
 		part.mu.Lock()
+		for b.cfg.MaxInflightBytes > 0 && part.inflight > 0 && part.inflight+add > b.cfg.MaxInflightBytes {
+			w := vclock.NewEvent(clock)
+			part.space = append(part.space, w)
+			part.mu.Unlock()
+			// Re-check closed *after* registering: Close sets the flag
+			// before sweeping the waiter lists, so a registration the sweep
+			// missed is guaranteed to see the flag here instead of parking
+			// on an event nobody will ever fire.
+			if b.isClosed() {
+				return ErrBrokerClosed
+			}
+			if !w.Wait(ctx) {
+				return ctx.Err()
+			}
+			if b.isClosed() {
+				return ErrBrokerClosed
+			}
+			part.mu.Lock()
+		}
+		// Read the clock after any backpressure wait: Published stamps the
+		// instant the broker accepted the message.
+		now := clock.Now()
 		start := part.nextFree
 		if start.Before(now) {
 			start = now
 		}
-		finish := start.Add(busy)
+		finish := start.Add(time.Duration(len(idxs)) * b.cfg.AppendCost)
 		part.nextFree = finish
 		if finish.After(latest) {
 			latest = finish
 		}
-		for _, kv := range batch {
-			m := Message{
-				Topic:     topicName,
-				Partition: p,
-				Offset:    int64(len(part.msgs)),
-				Key:       kv[0],
-				Value:     kv[1],
-				Published: now,
+		for _, i := range idxs {
+			k, v := kv(i)
+			m := Message{Topic: t.name, Partition: p, Offset: part.end, Key: k, Value: v, Published: now}
+			part.append(m, b.cfg.SegmentSize)
+			part.inflight += int64(len(k) + len(v))
+			if out != nil {
+				*out = append(*out, m)
 			}
-			part.msgs = append(part.msgs, m)
-			out = append(out, m)
 		}
 		waiters := part.waiters
 		part.waiters = nil
@@ -225,65 +327,156 @@ func (b *Broker) PublishBatch(ctx context.Context, topicName string, kvs [][2][]
 			w.Fire()
 		}
 	}
-	if wait := latest.Sub(now); wait > 0 {
-		if !b.cfg.Clock.Sleep(ctx, wait) {
-			return out, ctx.Err()
+	// Partitions absorb their sub-batches in parallel; the producer blocks
+	// until the slowest partition has caught up (one sleep for the whole
+	// batch, not one per message or per partition).
+	if wait := latest.Sub(clock.Now()); wait > 0 {
+		if !clock.Sleep(ctx, wait) {
+			return ctx.Err()
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// append places m at the tail of the segmented log. Segments are
+// allocated at full SegmentSize capacity, so the backing array of a
+// segment never moves and entries below the published length are
+// immutable — the invariants behind zero-copy fetch views.
+func (p *partition) append(m Message, segSize int) {
+	var seg *segment
+	if len(p.segs) > 0 {
+		seg = p.segs[len(p.segs)-1]
+	}
+	if seg == nil || len(seg.msgs) == segSize {
+		seg = &segment{msgs: make([]Message, 0, segSize)}
+		p.segs = append(p.segs, seg)
+	}
+	seg.msgs = append(seg.msgs, m)
+	p.end++
+}
+
+// view returns up to max messages starting at offset as a read-only
+// sub-slice of one segment (callers may see fewer than max at a segment
+// boundary and loop). Returns nil when offset is at the end of the log.
+// Caller holds p.mu; the returned view stays valid after release because
+// segments never reallocate and sealed entries never change.
+func (p *partition) view(offset int64, max, segSize int) []Message {
+	if offset >= p.end || offset < 0 {
+		return nil
+	}
+	seg := p.segs[offset/int64(segSize)]
+	lo := int(offset % int64(segSize))
+	hi := len(seg.msgs)
+	if hi-lo > max {
+		hi = lo + max
+	}
+	return seg.msgs[lo:hi:hi]
+}
+
+// registerWaiter parks w on the partition's data-waiter list, pruning
+// entries already fired. Every exit path of the poll calls fires its
+// event, so stale registrations left in other partitions' lists are
+// recognizably dead and pruned on the next registration — without that,
+// skewed traffic would grow a never-published partition's list by one
+// event per wake-up. Caller holds part.mu.
+func registerWaiter(part *partition, w *vclock.Event) {
+	live := part.waiters[:0]
+	for _, old := range part.waiters {
+		if !old.Fired() {
+			live = append(live, old)
+		}
+	}
+	part.waiters = append(live, w)
 }
 
 // Fetch returns up to max messages from a partition starting at offset,
 // long-polling until at least one message is available, ctx is done, or
-// the broker closes. It charges the modeled fetch latency once per call.
+// the broker closes. One call charges the modeled fetch latency exactly
+// once. The returned slice is a read-only view into the log (see Message).
 func (b *Broker) Fetch(ctx context.Context, topicName string, partitionIdx int, offset int64, max int) ([]Message, error) {
+	_, msgs, err := b.FetchOrWait(ctx, topicName, []int{partitionIdx}, []int64{offset}, 0, max)
+	return msgs, err
+}
+
+// FetchOrWait is the consumer hot path: one modeled long-poll over a set
+// of partitions (offsets[i] pairs with parts[i]). It charges FetchLatency
+// exactly once — the poll's round trip — then returns the first available
+// batch, parking (clock-aware, zero extra charge) until one of the
+// partitions has data past its offset, ctx is done, or the broker closes.
+// Scanning begins at parts[start%len(parts)], so callers rotate a cursor
+// for deterministic fairness across their partitions. The returned index
+// points into parts; the batch is a read-only view into the log and may
+// be shorter than max at a segment boundary.
+//
+// Combining the poll and the park in one call is what eliminates the
+// fetch-then-wait double charge: a message that arrives while the
+// consumer is parked is delivered at its arrival instant, not one
+// FetchLatency later.
+func (b *Broker) FetchOrWait(ctx context.Context, topicName string, parts []int, offsets []int64, start, max int) (int, []Message, error) {
 	t, err := b.topicByName(topicName)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
-		return nil, fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	if len(parts) == 0 {
+		return 0, nil, errors.New("streaming: FetchOrWait needs at least one partition")
+	}
+	if len(offsets) != len(parts) {
+		return 0, nil, fmt.Errorf("streaming: FetchOrWait got %d offsets for %d partitions", len(offsets), len(parts))
+	}
+	for _, pi := range parts {
+		if pi < 0 || pi >= len(t.partitions) {
+			return 0, nil, fmt.Errorf("streaming: partition %d out of range for %q", pi, topicName)
+		}
 	}
 	if max <= 0 {
 		max = 512
 	}
-	if !b.cfg.Clock.Sleep(ctx, b.cfg.FetchLatency) {
-		return nil, ctx.Err()
+	if start < 0 {
+		start = 0
 	}
-	part := t.partitions[partitionIdx]
+	if !b.cfg.Clock.Sleep(ctx, b.cfg.FetchLatency) {
+		return 0, nil, ctx.Err()
+	}
 	for {
-		part.mu.Lock()
-		if int64(len(part.msgs)) > offset {
-			end := offset + int64(max)
-			if end > int64(len(part.msgs)) {
-				end = int64(len(part.msgs))
+		var w *vclock.Event
+		for i := 0; i < len(parts); i++ {
+			j := (start + i) % len(parts)
+			part := t.partitions[parts[j]]
+			part.mu.Lock()
+			if batch := part.view(offsets[j], max, b.cfg.SegmentSize); len(batch) > 0 {
+				part.mu.Unlock()
+				if w != nil {
+					w.Fire() // mark registrations on earlier partitions dead
+				}
+				return j, batch, nil
 			}
-			batch := append([]Message(nil), part.msgs[offset:end]...)
+			if w == nil {
+				w = vclock.NewEvent(b.cfg.Clock)
+			}
+			registerWaiter(part, w)
 			part.mu.Unlock()
-			return batch, nil
 		}
-		w := vclock.NewEvent(b.cfg.Clock)
-		part.waiters = append(part.waiters, w)
-		part.mu.Unlock()
+		// Checked after registration (see publish): a Close whose sweep ran
+		// before we registered is visible here, before we park.
+		if b.isClosed() {
+			w.Fire()
+			return 0, nil, ErrBrokerClosed
+		}
 		if !w.Wait(ctx) {
-			return nil, ctx.Err()
+			w.Fire()
+			return 0, nil, ctx.Err()
 		}
-		// Either new data arrived or the broker closed; a closed broker
-		// will never produce data, so surface that instead of spinning.
-		b.mu.Lock()
-		closed := b.closed
-		b.mu.Unlock()
-		if closed {
-			return nil, ErrBrokerClosed
+		if b.isClosed() {
+			return 0, nil, ErrBrokerClosed
 		}
 	}
 }
 
 // WaitAny parks until at least one of the given partitions has data past
 // its offset (offsets[i] pairs with parts[i]), the broker closes, or ctx
-// ends. It returns true when data may be available — consumers owning
-// several partitions long-poll through this instead of spinning with
-// wall-clock timeouts, which keeps virtual-time runs deterministic.
+// ends. It returns true when data may be available. Unlike FetchOrWait it
+// charges nothing: it is the bare scheduling hook (consumer-group
+// rebalancing interrupts parked polls through the same waiter machinery).
 func (b *Broker) WaitAny(ctx context.Context, topicName string, parts []int, offsets []int64) (bool, error) {
 	t, err := b.topicByName(topicName)
 	if err != nil {
@@ -300,39 +493,71 @@ func (b *Broker) WaitAny(ctx context.Context, topicName string, parts []int, off
 			return false, fmt.Errorf("streaming: partition %d out of range for %q", pi, topicName)
 		}
 	}
-	// Every exit path below fires w, so stale registrations left in other
-	// partitions' waiter lists are recognizably dead and pruned on the
-	// next registration — without that, skewed traffic would grow a
-	// never-published partition's list by one event per wake-up.
 	w := vclock.NewEvent(b.cfg.Clock)
 	for i, pi := range parts {
 		part := t.partitions[pi]
 		part.mu.Lock()
-		if int64(len(part.msgs)) > offsets[i] {
+		if part.end > offsets[i] {
 			part.mu.Unlock()
 			w.Fire()
 			return true, nil
 		}
-		live := part.waiters[:0]
-		for _, old := range part.waiters {
-			if !old.Fired() {
-				live = append(live, old)
-			}
-		}
-		part.waiters = append(live, w)
+		registerWaiter(part, w)
 		part.mu.Unlock()
+	}
+	if b.isClosed() {
+		w.Fire()
+		return false, ErrBrokerClosed
 	}
 	if !w.Wait(ctx) {
 		w.Fire()
 		return false, ctx.Err()
 	}
-	b.mu.Lock()
-	closed := b.closed
-	b.mu.Unlock()
-	if closed {
+	if b.isClosed() {
 		return false, ErrBrokerClosed
 	}
 	return true, nil
+}
+
+// Commit acknowledges consumption of a partition through offset `through`
+// (exclusive: offsets below it are consumed). It releases the committed
+// bytes from the partition's in-flight account and wakes producers parked
+// on backpressure. Commits are monotone; committing at or below the
+// current mark is a no-op. Committing is what lets MaxInflightBytes
+// throttle producers to consumer speed — consumers that never commit
+// (plain Processors) must run against a broker without backpressure.
+func (b *Broker) Commit(topicName string, partitionIdx int, through int64) error {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	}
+	part := t.partitions[partitionIdx]
+	part.mu.Lock()
+	if through > part.end {
+		through = part.end
+	}
+	if through <= part.committed {
+		part.mu.Unlock()
+		return nil
+	}
+	segSize := int64(b.cfg.SegmentSize)
+	var freed int64
+	for o := part.committed; o < through; o++ {
+		m := &part.segs[o/segSize].msgs[o%segSize]
+		freed += int64(len(m.Key) + len(m.Value))
+	}
+	part.committed = through
+	part.inflight -= freed
+	ws := part.space
+	part.space = nil
+	part.mu.Unlock()
+	for _, w := range ws {
+		w.Fire()
+	}
+	return nil
 }
 
 // EndOffset returns the next offset to be written on a partition.
@@ -347,10 +572,44 @@ func (b *Broker) EndOffset(topicName string, partitionIdx int) (int64, error) {
 	part := t.partitions[partitionIdx]
 	part.mu.Lock()
 	defer part.mu.Unlock()
-	return int64(len(part.msgs)), nil
+	return part.end, nil
 }
 
-// Close rejects further operations and wakes blocked fetchers.
+// Committed returns a partition's commit mark (the next uncommitted
+// offset).
+func (b *Broker) Committed(topicName string, partitionIdx int) (int64, error) {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return 0, fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	}
+	part := t.partitions[partitionIdx]
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	return part.committed, nil
+}
+
+// InflightBytes returns a partition's published-but-uncommitted bytes —
+// the quantity MaxInflightBytes bounds.
+func (b *Broker) InflightBytes(topicName string, partitionIdx int) (int64, error) {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return 0, fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	}
+	part := t.partitions[partitionIdx]
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	return part.inflight, nil
+}
+
+// Close rejects further operations and wakes blocked fetchers and
+// backpressured producers. Topics are swept in creation order so wake-up
+// order never depends on map iteration.
 func (b *Broker) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -358,17 +617,28 @@ func (b *Broker) Close() {
 		return
 	}
 	b.closed = true
-	for _, t := range b.topics {
+	for _, t := range b.order {
 		for _, p := range t.partitions {
 			p.mu.Lock()
 			ws := p.waiters
 			p.waiters = nil
+			sp := p.space
+			p.space = nil
 			p.mu.Unlock()
 			for _, w := range ws {
 				w.Fire()
 			}
+			for _, w := range sp {
+				w.Fire()
+			}
 		}
 	}
+}
+
+func (b *Broker) isClosed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
 }
 
 func partitionOf(key []byte, n int) int {

@@ -1,0 +1,432 @@
+package streaming
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"gopilot/internal/core"
+	"gopilot/internal/dist"
+	"gopilot/internal/vclock"
+)
+
+// This file implements consumer groups: a coordinator that shards a
+// topic's partitions across a dynamic pool of pilot-managed workers with
+// Kafka-style generation-based rebalancing, deterministic under the
+// virtual-time executor.
+//
+// Protocol (DESIGN.md "Streaming data plane"): membership changes create
+// a new *generation*. Workers of the obsolete generation are interrupted
+// mid-long-poll (their generation context is canceled, which wakes the
+// clock-aware park inside FetchOrWait — the WaitAny waiter machinery),
+// finish and commit any batch already in flight, then acknowledge the new
+// generation. Only when every worker touched by the change has
+// acknowledged does the new assignment activate (the generation barrier),
+// so no partition is ever consumed by two workers at once and the commit
+// cursor handoff is exact: processing is exactly-once across rebalances.
+//
+// Assignment is a pure function of the sorted member ordinals: the i-th
+// member (by spawn ordinal) owns partitions {q : q mod M == i}. Ordinals
+// are assigned at spawn and never reused, so the assignment never depends
+// on join timing races or map iteration.
+//
+// A worker that dies abnormally (handler failure, broker closed under it)
+// evicts itself on the way out: its partitions reshard onto the survivors
+// and its slot in any pending barrier is released, so one crashed worker
+// can neither strand its shard nor wedge later rebalances.
+
+// GroupConfig describes a consumer group: a coordinator plus a pool of
+// worker units consuming one topic with dynamic membership, commit-based
+// progress, and (with Broker.MaxInflightBytes) backpressure.
+type GroupConfig struct {
+	// Name labels the group's compute units.
+	Name string
+	// Topic to consume.
+	Topic string
+	// Workers is the initial pool size (default 1); AddWorker/RemoveWorker
+	// change it at runtime.
+	Workers int
+	// BatchSize bounds messages per poll (default 256).
+	BatchSize int
+	// Handler processes each message.
+	Handler HandlerFunc
+	// PureHandler marks Handler as a side-effect-free CPU kernel; batches
+	// then run as parallel compute phases (see ProcessorConfig.PureHandler).
+	PureHandler bool
+	// CostPerMessage is the modeled processing cost per message, charged
+	// once per poll batch.
+	CostPerMessage time.Duration
+	// CostCV makes per-batch cost stochastic (lognormal multiplier, mean
+	// 1). Zero keeps costs deterministic.
+	CostCV float64
+	// Stream is the group's slot on the seeding spine; worker ordinal w
+	// draws its cost jitter from Stream's "worker"/<w> child, so joins and
+	// leaves never shift an existing worker's draws. Only consumed when
+	// CostCV > 0. Defaults to dist.Unseeded("streaming/group/<name>").
+	Stream *dist.Stream
+	// CoresPerWorker sizes each worker unit (default 1).
+	CoresPerWorker int
+}
+
+// generation is one epoch of the membership. It activates (ready fires)
+// once every worker of the previous epoch has quiesced, and retires
+// (ctx canceled, changed fired) when the next epoch is created.
+type generation struct {
+	id      int
+	members []int // sorted worker ordinals
+	ctx     context.Context
+	cancel  context.CancelFunc
+	changed *vclock.Event // a newer generation exists
+	ready   *vclock.Event // the barrier: assignment is active
+	waitFor []int         // ordinals whose ack still gates ready
+}
+
+// Group is a running consumer group.
+type Group struct {
+	*counters
+	cfg    GroupConfig
+	broker *Broker
+	mgr    *core.Manager
+	nparts int
+
+	runCtx     context.Context
+	stop       context.CancelFunc
+	workerRoot *dist.Stream
+
+	mu          sync.Mutex
+	cur         *generation
+	nextOrdinal int
+	units       []*core.ComputeUnit
+	offsets     []int64 // per-partition consume cursor, handed off at the barrier
+	seeded      bool    // initial pool is up; later changes count as rebalances
+	rebalances  int
+}
+
+// StartGroup deploys the initial workers onto mgr's pilots and starts
+// consuming. Stop (or ctx cancellation) terminates the group.
+func StartGroup(ctx context.Context, mgr *core.Manager, broker *Broker, cfg GroupConfig) (*Group, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("streaming: group needs a handler")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.CoresPerWorker <= 0 {
+		cfg.CoresPerWorker = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = "stream-group"
+	}
+	if cfg.Stream == nil {
+		cfg.Stream = dist.Unseeded("streaming/group/" + cfg.Name)
+	}
+	nparts, err := broker.Partitions(cfg.Topic)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	g := &Group{
+		counters:   newCounters(broker.Clock(), "group_e2e_latency_s"),
+		cfg:        cfg,
+		broker:     broker,
+		mgr:        mgr,
+		nparts:     nparts,
+		runCtx:     runCtx,
+		stop:       cancel,
+		workerRoot: cfg.Stream.Named("worker"),
+	}
+	g.offsets = make([]int64, nparts)
+	// Generation 0: empty membership, already active.
+	gen0ctx, gen0cancel := context.WithCancel(runCtx)
+	g.cur = &generation{id: 0, ctx: gen0ctx, cancel: gen0cancel,
+		changed: vclock.NewEvent(broker.Clock()), ready: vclock.NewEvent(broker.Clock())}
+	g.cur.ready.Fire()
+	for i := 0; i < cfg.Workers; i++ {
+		if _, err := g.AddWorker(); err != nil {
+			cancel()
+			g.Stop()
+			return nil, err
+		}
+	}
+	g.mu.Lock()
+	g.seeded = true
+	g.mu.Unlock()
+	return g, nil
+}
+
+// newGenerationLocked installs the next generation for the given member
+// set. Callers hold g.mu.
+func (g *Group) newGenerationLocked(members []int) *generation {
+	old := g.cur
+	ng := &generation{
+		id:      old.id + 1,
+		members: members,
+		changed: vclock.NewEvent(g.broker.Clock()),
+		ready:   vclock.NewEvent(g.broker.Clock()),
+	}
+	ng.ctx, ng.cancel = context.WithCancel(g.runCtx)
+	// The barrier waits for every worker the change touches: continuing
+	// and departing members of the old epoch, plus joiners (whose ack
+	// doubles as proof their unit actually started).
+	ng.waitFor = unionInts(old.members, members)
+	if len(ng.waitFor) == 0 {
+		ng.ready.Fire()
+	}
+	g.cur = ng
+	if g.seeded {
+		g.rebalances++
+	}
+	// Retire the old epoch: interrupt parked polls and release anyone
+	// still waiting on a barrier that can no longer complete (they re-read
+	// g.cur and converge on this generation).
+	old.cancel()
+	old.changed.Fire()
+	old.ready.Fire()
+	return ng
+}
+
+// ack records that worker `ordinal` has quiesced into generation gen;
+// the last expected ack activates the assignment.
+func (g *Group) ack(gen *generation, ordinal int) {
+	g.mu.Lock()
+	for i, o := range gen.waitFor {
+		if o == ordinal {
+			gen.waitFor = append(gen.waitFor[:i], gen.waitFor[i+1:]...)
+			break
+		}
+	}
+	fire := len(gen.waitFor) == 0 && !gen.ready.Fired()
+	g.mu.Unlock()
+	if fire {
+		gen.ready.Fire()
+	}
+}
+
+// forgetLocked removes a never-started ordinal from the current barrier
+// (spawn failure compensation). Callers hold g.mu; returns whether the
+// barrier completed.
+func (g *Group) forgetLocked(ordinal int) bool {
+	gen := g.cur
+	for i, o := range gen.waitFor {
+		if o == ordinal {
+			gen.waitFor = append(gen.waitFor[:i], gen.waitFor[i+1:]...)
+			break
+		}
+	}
+	return len(gen.waitFor) == 0 && !gen.ready.Fired()
+}
+
+// AddWorker grows the pool by one worker, returning its ordinal. The new
+// assignment activates once every current worker has finished its
+// in-flight batch (the generation barrier).
+func (g *Group) AddWorker() (int, error) {
+	g.mu.Lock()
+	ord := g.nextOrdinal
+	g.nextOrdinal++
+	members := append(append([]int(nil), g.cur.members...), ord)
+	slices.Sort(members)
+	g.newGenerationLocked(members)
+	g.mu.Unlock()
+
+	var jitter dist.Dist
+	if g.cfg.CostCV > 0 {
+		jitter = dist.LogNormalFrom(g.workerRoot.SplitLabel(uint64(ord)), 1, g.cfg.CostCV)
+	}
+	u, err := g.mgr.SubmitUnit(core.UnitDescription{
+		Name:  fmt.Sprintf("%s[%d]", g.cfg.Name, ord),
+		Cores: g.cfg.CoresPerWorker,
+		Run: func(_ context.Context, tc core.TaskContext) error {
+			return g.run(tc, ord, jitter)
+		},
+	})
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err != nil {
+		// Compensate: drop the member again and release its barrier slot —
+		// its unit will never ack.
+		members := removeInt(g.cur.members, ord)
+		ng := g.newGenerationLocked(members)
+		if g.forgetLocked(ord) {
+			ng.ready.Fire()
+		}
+		return 0, err
+	}
+	g.units = append(g.units, u)
+	return ord, nil
+}
+
+// RemoveWorker shrinks the pool, interrupting the worker's in-flight poll
+// and re-sharding its partitions once it (and everyone else) quiesces.
+func (g *Group) RemoveWorker(ordinal int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !slices.Contains(g.cur.members, ordinal) {
+		return fmt.Errorf("streaming: group %q has no worker %d", g.cfg.Name, ordinal)
+	}
+	g.newGenerationLocked(removeInt(g.cur.members, ordinal))
+	return nil
+}
+
+// Members returns the current sorted worker ordinals.
+func (g *Group) Members() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]int(nil), g.cur.members...)
+}
+
+// Rebalances returns how many membership changes occurred after the
+// initial pool came up.
+func (g *Group) Rebalances() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rebalances
+}
+
+// assignedParts returns the partitions the idx-th of m members owns.
+func assignedParts(idx, m, nparts int) []int {
+	var parts []int
+	for q := idx; q < nparts; q += m {
+		parts = append(parts, q)
+	}
+	return parts
+}
+
+// run is one worker's life: converge on the current generation, pass the
+// barrier, consume the assigned shard until the generation retires, and
+// exit once no longer a member.
+func (g *Group) run(tc core.TaskContext, ordinal int, jitter dist.Dist) error {
+	acked := -1
+	for {
+		if g.runCtx.Err() != nil {
+			return nil
+		}
+		g.mu.Lock()
+		gen := g.cur
+		g.mu.Unlock()
+		if gen.id != acked {
+			g.ack(gen, ordinal)
+			acked = gen.id
+		}
+		idx := slices.Index(gen.members, ordinal)
+		if idx < 0 {
+			return nil // removed from the group
+		}
+		if !gen.ready.Wait(g.runCtx) {
+			if g.runCtx.Err() != nil {
+				return nil
+			}
+			continue
+		}
+		parts := assignedParts(idx, len(gen.members), g.nparts)
+		if len(parts) == 0 {
+			// More workers than partitions: idle until the next rebalance.
+			if !gen.changed.Wait(g.runCtx) && g.runCtx.Err() != nil {
+				return nil
+			}
+			continue
+		}
+		if err := g.consume(gen, tc, parts, jitter); err != nil {
+			// The worker is exiting abnormally: leave the membership so
+			// its partitions are resharded and no future barrier waits for
+			// an ack this unit will never send.
+			g.evict(ordinal)
+			if errors.Is(err, ErrBrokerClosed) {
+				return nil // no more data will ever arrive
+			}
+			return err
+		}
+	}
+}
+
+// evict removes a worker that is exiting abnormally (handler failure,
+// broker closed) from the membership, rebalancing its partitions onto the
+// survivors and releasing its slot in the current barrier. During group
+// teardown it is a no-op — every worker exits then.
+func (g *Group) evict(ordinal int) {
+	g.mu.Lock()
+	if g.runCtx.Err() != nil {
+		g.mu.Unlock()
+		return
+	}
+	if slices.Contains(g.cur.members, ordinal) {
+		g.newGenerationLocked(removeInt(g.cur.members, ordinal))
+	}
+	gen := g.cur
+	fire := g.forgetLocked(ordinal)
+	g.mu.Unlock()
+	if fire {
+		gen.ready.Fire()
+	}
+}
+
+// consume drains the shard until the generation retires or the group
+// stops. The partition cursors live in g.offsets; between the barrier
+// handing them to us and our final commit, this worker is their only
+// reader and writer.
+func (g *Group) consume(gen *generation, tc core.TaskContext, parts []int, jitter dist.Dist) error {
+	offsets := make([]int64, len(parts))
+	g.mu.Lock()
+	for i, q := range parts {
+		offsets[i] = g.offsets[q]
+	}
+	g.mu.Unlock()
+	start := 0
+	for {
+		// The poll runs on the generation context: a rebalance cancels it,
+		// which wakes the clock-aware park deterministically.
+		i, batch, err := g.broker.FetchOrWait(gen.ctx, g.cfg.Topic, parts, offsets, start, g.cfg.BatchSize)
+		if err != nil {
+			if gen.ctx.Err() != nil {
+				return nil // rebalance or stop; run() re-converges
+			}
+			return err // ErrBrokerClosed and real failures: run() decides
+		}
+		// The batch itself completes on the run context: a rebalance
+		// interrupts polls, not processing, so the batch commits exactly
+		// once before the partition is handed to its next owner.
+		if err := runBatch(g.runCtx, tc, g.counters, batch, g.cfg.CostPerMessage, jitter, g.cfg.PureHandler, g.cfg.Handler); err != nil {
+			if g.runCtx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		offsets[i] += int64(len(batch))
+		g.mu.Lock()
+		g.offsets[parts[i]] = offsets[i]
+		g.mu.Unlock()
+		g.broker.Commit(g.cfg.Topic, parts[i], offsets[i])
+		if gen.ctx.Err() != nil {
+			return nil
+		}
+		start = i + 1
+	}
+}
+
+// Stop terminates the workers and waits for their units to finish.
+func (g *Group) Stop() {
+	g.stop()
+	g.mu.Lock()
+	units := append([]*core.ComputeUnit(nil), g.units...)
+	g.mu.Unlock()
+	for _, u := range units {
+		u.Wait(context.Background())
+	}
+	g.markStopped()
+}
+
+func removeInt(xs []int, x int) []int {
+	return slices.DeleteFunc(slices.Clone(xs), func(v int) bool { return v == x })
+}
+
+// unionInts merges two sorted ordinal sets.
+func unionInts(a, b []int) []int {
+	out := slices.Concat(a, b)
+	slices.Sort(out)
+	return slices.Compact(out)
+}

@@ -27,7 +27,8 @@ type ProcessorConfig struct {
 	Topic string
 	// Workers is the number of parallel consumer units; partitions are
 	// assigned round-robin across workers (Workers > partitions leaves the
-	// excess idle, as in Kafka consumer groups).
+	// excess idle, as in Kafka consumer groups). The assignment is static
+	// for the processor's lifetime — use a Group for dynamic membership.
 	Workers int
 	// BatchSize bounds messages per fetch (default 256).
 	BatchSize int
@@ -61,16 +62,12 @@ type ProcessorConfig struct {
 	CoresPerWorker int
 }
 
-// Processor is a running set of consumer units with latency/throughput
-// accounting.
-type Processor struct {
-	cfg    ProcessorConfig
-	broker *Broker
-	mgr    *core.Manager
-
-	units []*core.ComputeUnit
-	stop  context.CancelFunc
-
+// counters is the shared measurement core of the consumer deployments
+// (Processor, ServerlessProcessor, Group): processed count, end-to-end
+// latency series, throughput window, and the progress notifier behind
+// WaitProcessed.
+type counters struct {
+	clock    vclock.Clock
 	progress *vclock.Notifier
 
 	mu        sync.Mutex
@@ -78,6 +75,162 @@ type Processor struct {
 	started   time.Time
 	stopped   time.Time
 	latencies *metrics.Series
+}
+
+func newCounters(clock vclock.Clock, series string) *counters {
+	return &counters{
+		clock:     clock,
+		progress:  vclock.NewNotifier(clock),
+		started:   clock.Now(),
+		latencies: metrics.NewSeries(series),
+	}
+}
+
+// record accounts one processed message (the per-message path, used when
+// handlers sleep mid-batch and each message observes its own instant).
+func (c *counters) record(lat time.Duration) {
+	c.latencies.Add(lat.Seconds())
+	c.mu.Lock()
+	c.processed++
+	c.mu.Unlock()
+	c.progress.Set()
+}
+
+// recordBatch accounts a whole batch completing at one instant: one lock,
+// one progress wake — the amortization that keeps million-message runs
+// off the scheduler's hot path.
+func (c *counters) recordBatch(now time.Time, batch []Message) {
+	for i := range batch {
+		c.latencies.Add(now.Sub(batch[i].Published).Seconds())
+	}
+	c.mu.Lock()
+	c.processed += int64(len(batch))
+	c.mu.Unlock()
+	c.progress.Set()
+}
+
+func (c *counters) markStopped() {
+	c.mu.Lock()
+	c.stopped = c.clock.Now()
+	c.mu.Unlock()
+}
+
+// Processed returns the number of messages handled so far.
+func (c *counters) Processed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.processed
+}
+
+// WaitProcessed blocks until at least n messages were handled or ctx ends.
+func (c *counters) WaitProcessed(ctx context.Context, n int64) error {
+	for {
+		if c.Processed() >= n {
+			return nil
+		}
+		if !c.progress.Wait(ctx) {
+			return ctx.Err()
+		}
+	}
+}
+
+// Throughput returns processed messages per modeled second between start
+// and Stop (or now while running).
+func (c *counters) Throughput() float64 {
+	c.mu.Lock()
+	processed := c.processed
+	end := c.stopped
+	c.mu.Unlock()
+	if end.IsZero() {
+		end = c.clock.Now()
+	}
+	elapsed := end.Sub(c.started).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(processed) / elapsed
+}
+
+// LatencyStats summarizes end-to-end latency in seconds.
+func (c *counters) LatencyStats() metrics.Summary { return c.latencies.Summary() }
+
+// chargeAndRun is the batch-execution core shared by every consumer
+// deployment: charge the batch's modeled cost once (scaled by the
+// optional jitter draw), then run handler over each message — as one
+// parallel compute phase when pure (modeled time pinned, bodies overlap
+// on real cores), serially otherwise with afterEach (when non-nil)
+// called behind every message for interleaved accounting. Handler errors
+// are wrapped with errPrefix and the failing message's coordinates.
+func chargeAndRun(ctx context.Context, clock vclock.Clock, batch []Message,
+	cost time.Duration, jitter dist.Dist, pure bool, errPrefix string,
+	handler func(context.Context, Message) error, afterEach func(Message)) error {
+	if cost > 0 {
+		total := time.Duration(len(batch)) * cost
+		if jitter != nil {
+			total = time.Duration(float64(total) * jitter.Sample())
+		}
+		if !clock.Sleep(ctx, total) {
+			return ctx.Err()
+		}
+	}
+	if pure {
+		var herr error
+		if !vclock.Compute(clock, ctx, func() {
+			for i := range batch {
+				if err := handler(ctx, batch[i]); err != nil {
+					m := &batch[i]
+					herr = fmt.Errorf("streaming: %s %s[%d]@%d: %w", errPrefix, m.Topic, m.Partition, m.Offset, err)
+					return
+				}
+			}
+		}) {
+			return ctx.Err()
+		}
+		return herr
+	}
+	for i := range batch {
+		if err := handler(ctx, batch[i]); err != nil {
+			m := &batch[i]
+			return fmt.Errorf("streaming: %s %s[%d]@%d: %w", errPrefix, m.Topic, m.Partition, m.Offset, err)
+		}
+		if afterEach != nil {
+			afterEach(batch[i])
+		}
+	}
+	return nil
+}
+
+// runBatch executes a batch for a pilot-worker deployment (Processor,
+// Group), recording end-to-end latencies into c — per message on the
+// serial path (handlers may sleep mid-batch), at the pinned post-join
+// instant on the pure path.
+func runBatch(ctx context.Context, tc core.TaskContext, c *counters, batch []Message,
+	cost time.Duration, jitter dist.Dist, pure bool, handler HandlerFunc) error {
+	clock := c.clock
+	h := func(ctx context.Context, m Message) error { return handler(ctx, tc, m) }
+	var afterEach func(Message)
+	if !pure {
+		afterEach = func(m Message) { c.record(clock.Now().Sub(m.Published)) }
+	}
+	if err := chargeAndRun(ctx, clock, batch, cost, jitter, pure, "handler on", h, afterEach); err != nil {
+		return err
+	}
+	if pure {
+		c.recordBatch(clock.Now(), batch)
+	}
+	return nil
+}
+
+// Processor is a running set of consumer units with latency/throughput
+// accounting.
+type Processor struct {
+	*counters
+	cfg    ProcessorConfig
+	broker *Broker
+	mgr    *core.Manager
+
+	units []*core.ComputeUnit
+	stop  context.CancelFunc
 }
 
 // StartProcessor deploys the processing units onto mgr's pilots and starts
@@ -108,13 +261,11 @@ func StartProcessor(ctx context.Context, mgr *core.Manager, broker *Broker, cfg 
 
 	runCtx, cancel := context.WithCancel(ctx)
 	p := &Processor{
-		cfg:       cfg,
-		broker:    broker,
-		mgr:       mgr,
-		stop:      cancel,
-		progress:  vclock.NewNotifier(broker.Clock()),
-		started:   broker.Clock().Now(),
-		latencies: metrics.NewSeries("e2e_latency_s"),
+		counters: newCounters(broker.Clock(), "e2e_latency_s"),
+		cfg:      cfg,
+		broker:   broker,
+		mgr:      mgr,
+		stop:     cancel,
 	}
 
 	// Static partition assignment: worker w owns partitions w, w+W, ...
@@ -144,7 +295,10 @@ func StartProcessor(ctx context.Context, mgr *core.Manager, broker *Broker, cfg 
 	return p, nil
 }
 
-// consume is one worker's loop over its partition set.
+// consume is one worker's loop over its partition set: one FetchOrWait
+// long-poll per batch (one modeled RTT, parking clock-aware when all
+// owned partitions are drained), rotating the scan start across polls so
+// every partition gets served under sustained load.
 func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []int, jitter dist.Dist) error {
 	if len(parts) == 0 {
 		// No partitions assigned: idle until stopped, without holding the
@@ -154,126 +308,26 @@ func (p *Processor) consume(ctx context.Context, tc core.TaskContext, parts []in
 		return nil
 	}
 	offsets := make([]int64, len(parts))
-	clock := p.broker.Clock()
+	start := 0
 	for {
-		progressed := false
-		for i, part := range parts {
+		if ctx.Err() != nil {
+			return nil
+		}
+		i, batch, err := p.broker.FetchOrWait(ctx, p.cfg.Topic, parts, offsets, start, p.cfg.BatchSize)
+		if err != nil {
+			if errors.Is(err, ErrBrokerClosed) || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if err := runBatch(ctx, tc, p.counters, batch, p.cfg.CostPerMessage, jitter, p.cfg.PureHandler, p.cfg.Handler); err != nil {
 			if ctx.Err() != nil {
 				return nil
 			}
-			// Non-blocking check first so one empty partition does not
-			// stall the others: long-poll only when all were empty.
-			end, err := p.broker.EndOffset(p.cfg.Topic, part)
-			if err != nil {
-				if errors.Is(err, ErrBrokerClosed) {
-					return nil
-				}
-				return err
-			}
-			if end <= offsets[i] {
-				continue
-			}
-			batch, err := p.broker.Fetch(ctx, p.cfg.Topic, part, offsets[i], p.cfg.BatchSize)
-			if err != nil {
-				if errors.Is(err, ErrBrokerClosed) || ctx.Err() != nil {
-					return nil
-				}
-				return err
-			}
-			if err := p.processBatch(ctx, tc, clock, batch, jitter); err != nil {
-				if ctx.Err() != nil {
-					return nil
-				}
-				return err
-			}
-			offsets[i] += int64(len(batch))
-			progressed = true
+			return err
 		}
-		if !progressed {
-			// All partitions drained: park until any owned partition has
-			// data (or the broker closes / the processor stops). This
-			// replaces the old wall-clock poll timeout, whose firing order
-			// was invisible to the virtual-time executor.
-			if _, err := p.broker.WaitAny(ctx, p.cfg.Topic, parts, offsets); err != nil {
-				if errors.Is(err, ErrBrokerClosed) || ctx.Err() != nil {
-					return nil
-				}
-				return err
-			}
-		}
-	}
-}
-
-// processBatch charges the batch's modeled processing cost, then runs the
-// handler (real computation) over each message and records its end-to-end
-// latency. With PureHandler set, the whole batch's handler calls execute
-// as one parallel compute phase: modeled time is pinned while they run,
-// so every message observes the same completion instant it would have on
-// the token, and concurrent workers' batches overlap on real cores.
-func (p *Processor) processBatch(ctx context.Context, tc core.TaskContext, clock vclock.Clock, batch []Message, jitter dist.Dist) error {
-	if p.cfg.CostPerMessage > 0 {
-		cost := time.Duration(len(batch)) * p.cfg.CostPerMessage
-		if jitter != nil {
-			cost = time.Duration(float64(cost) * jitter.Sample())
-		}
-		if !clock.Sleep(ctx, cost) {
-			return ctx.Err()
-		}
-	}
-	if p.cfg.PureHandler {
-		var herr error
-		if !vclock.Compute(clock, ctx, func() {
-			for _, m := range batch {
-				if err := p.cfg.Handler(ctx, tc, m); err != nil {
-					herr = fmt.Errorf("streaming: handler on %s[%d]@%d: %w", m.Topic, m.Partition, m.Offset, err)
-					return
-				}
-			}
-		}) {
-			return ctx.Err()
-		}
-		if herr != nil {
-			return herr
-		}
-		now := clock.Now()
-		for _, m := range batch {
-			p.record(now.Sub(m.Published))
-		}
-		return nil
-	}
-	for _, m := range batch {
-		if err := p.cfg.Handler(ctx, tc, m); err != nil {
-			return fmt.Errorf("streaming: handler on %s[%d]@%d: %w", m.Topic, m.Partition, m.Offset, err)
-		}
-		p.record(clock.Now().Sub(m.Published))
-	}
-	return nil
-}
-
-func (p *Processor) record(lat time.Duration) {
-	p.latencies.Add(lat.Seconds())
-	p.mu.Lock()
-	p.processed++
-	p.mu.Unlock()
-	p.progress.Set()
-}
-
-// Processed returns the number of messages handled so far.
-func (p *Processor) Processed() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.processed
-}
-
-// WaitProcessed blocks until at least n messages were handled or ctx ends.
-func (p *Processor) WaitProcessed(ctx context.Context, n int64) error {
-	for {
-		if p.Processed() >= n {
-			return nil
-		}
-		if !p.progress.Wait(ctx) {
-			return ctx.Err()
-		}
+		offsets[i] += int64(len(batch))
+		start = i + 1
 	}
 }
 
@@ -283,49 +337,37 @@ func (p *Processor) Stop() {
 	for _, u := range p.units {
 		u.Wait(context.Background())
 	}
-	p.mu.Lock()
-	p.stopped = p.broker.Clock().Now()
-	p.mu.Unlock()
+	p.markStopped()
 }
-
-// Throughput returns processed messages per modeled second between start
-// and Stop (or now while running).
-func (p *Processor) Throughput() float64 {
-	p.mu.Lock()
-	processed := p.processed
-	end := p.stopped
-	p.mu.Unlock()
-	if end.IsZero() {
-		end = p.broker.Clock().Now()
-	}
-	elapsed := end.Sub(p.started).Seconds()
-	if elapsed <= 0 {
-		return 0
-	}
-	return float64(processed) / elapsed
-}
-
-// LatencyStats summarizes end-to-end latency in seconds.
-func (p *Processor) LatencyStats() metrics.Summary { return p.latencies.Summary() }
 
 // Produce publishes n messages at a target rate (messages per modeled
-// second) in batches, returning the achieved rate. A rate <= 0 publishes
-// as fast as the broker admits (the saturation probe used by E7).
+// second) in batches of 64, returning the achieved rate. A rate <= 0
+// publishes as fast as the broker admits (the saturation probe used by
+// E7).
 func Produce(ctx context.Context, b *Broker, topic string, n int, rate float64, payload []byte) (float64, error) {
+	return ProduceBatched(ctx, b, topic, n, rate, payload, 64)
+}
+
+// ProduceBatched is Produce with a caller-chosen publish batch size:
+// larger batches amortize broker interactions further (one lock, wake
+// and producer sleep per batch) — the bulk-ingest setting E13 uses.
+func ProduceBatched(ctx context.Context, b *Broker, topic string, n int, rate float64, payload []byte, batch int) (float64, error) {
+	if batch <= 0 {
+		batch = 64
+	}
 	clock := b.Clock()
 	start := clock.Now()
-	const batch = 64
+	values := make([][]byte, batch)
 	sent := 0
 	for sent < n {
 		k := batch
 		if n-sent < k {
 			k = n - sent
 		}
-		kvs := make([][2][]byte, k)
-		for i := range kvs {
-			kvs[i] = [2][]byte{nil, payload}
+		for i := 0; i < k; i++ {
+			values[i] = payload
 		}
-		if _, err := b.PublishBatch(ctx, topic, kvs); err != nil {
+		if err := b.PublishValues(ctx, topic, values[:k]); err != nil {
 			return 0, err
 		}
 		sent += k

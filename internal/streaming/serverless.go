@@ -3,14 +3,11 @@ package streaming
 import (
 	"context"
 	"errors"
-	"fmt"
-	"sync"
 	"time"
 
 	"gopilot/internal/dist"
 	"gopilot/internal/infra"
 	"gopilot/internal/infra/serverless"
-	"gopilot/internal/metrics"
 	"gopilot/internal/vclock"
 )
 
@@ -52,20 +49,13 @@ type ServerlessConfig struct {
 // ordered dispatcher per partition (matching the per-shard ordering of
 // real event source mappings).
 type ServerlessProcessor struct {
+	*counters
 	cfg      ServerlessConfig
 	broker   *Broker
 	platform *serverless.Platform
 
 	stop context.CancelFunc
 	wg   *vclock.Group
-
-	progress *vclock.Notifier
-
-	mu        sync.Mutex
-	processed int64
-	started   time.Time
-	stopped   time.Time
-	latencies *metrics.Series
 }
 
 // StartServerless begins consuming the topic via FaaS invocations.
@@ -88,14 +78,12 @@ func StartServerless(ctx context.Context, platform *serverless.Platform, broker 
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	p := &ServerlessProcessor{
-		cfg:       cfg,
-		broker:    broker,
-		platform:  platform,
-		stop:      cancel,
-		wg:        vclock.NewGroup(broker.Clock()),
-		progress:  vclock.NewNotifier(broker.Clock()),
-		started:   broker.Clock().Now(),
-		latencies: metrics.NewSeries("faas_e2e_latency_s"),
+		counters: newCounters(broker.Clock(), "faas_e2e_latency_s"),
+		cfg:      cfg,
+		broker:   broker,
+		platform: platform,
+		stop:     cancel,
+		wg:       vclock.NewGroup(broker.Clock()),
 	}
 	partRoot := cfg.Stream.Named("partition")
 	for part := 0; part < nparts; part++ {
@@ -116,55 +104,30 @@ func StartServerless(ctx context.Context, platform *serverless.Platform, broker 
 // dispatch is the per-partition poll → invoke loop.
 func (p *ServerlessProcessor) dispatch(ctx context.Context, part int, jitter dist.Dist) {
 	clock := p.broker.Clock()
-	var offset int64
+	parts := []int{part}
+	offsets := []int64{0}
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		// Fetch long-polls through the broker's clock-aware wait; each
-		// dispatcher owns exactly one partition, so blocking here is the
-		// per-shard ordering a real event source mapping provides.
-		batch, err := p.broker.Fetch(ctx, p.cfg.Topic, part, offset, p.cfg.BatchSize)
+		// One combined long-poll per invocation batch (one modeled RTT,
+		// clock-aware park while the shard is drained); each dispatcher
+		// owns exactly one partition, so blocking here is the per-shard
+		// ordering a real event source mapping provides.
+		_, batch, err := p.broker.FetchOrWait(ctx, p.cfg.Topic, parts, offsets, 0, p.cfg.BatchSize)
 		if err != nil {
-			if errors.Is(err, ErrBrokerClosed) || ctx.Err() != nil {
-				return
-			}
 			return
 		}
 		// One function invocation per batch; the invocation pays cold or
-		// warm start inside the platform, then the modeled batch cost.
+		// warm start inside the platform, then the modeled batch cost and
+		// the handler loop through the shared batch-execution core
+		// (latency is recorded after the whole invocation succeeds, so no
+		// per-message afterEach here).
 		err = p.platform.Invoke(ctx, p.cfg.Function, func(ictx context.Context, _ infra.Allocation) error {
-			if p.cfg.CostPerMessage > 0 {
-				cost := time.Duration(len(batch)) * p.cfg.CostPerMessage
-				if jitter != nil {
-					cost = time.Duration(float64(cost) * jitter.Sample())
-				}
-				if !clock.Sleep(ictx, cost) {
-					return ictx.Err()
-				}
-			}
-			if p.cfg.PureHandler {
-				var herr error
-				if !vclock.Compute(clock, ictx, func() {
-					for _, m := range batch {
-						if err := p.cfg.Handler(ictx, m); err != nil {
-							herr = fmt.Errorf("streaming: serverless handler at %s[%d]@%d: %w",
-								m.Topic, m.Partition, m.Offset, err)
-							return
-						}
-					}
-				}) {
-					return ictx.Err()
-				}
-				return herr
-			}
-			for _, m := range batch {
-				if err := p.cfg.Handler(ictx, m); err != nil {
-					return fmt.Errorf("streaming: serverless handler at %s[%d]@%d: %w",
-						m.Topic, m.Partition, m.Offset, err)
-				}
-			}
-			return nil
+			return chargeAndRun(ictx, clock, batch, p.cfg.CostPerMessage, jitter,
+				p.cfg.PureHandler, "serverless handler at",
+				func(hctx context.Context, m Message) error { return p.cfg.Handler(hctx, m) },
+				nil)
 		})
 		if err != nil {
 			if ctx.Err() != nil || errors.Is(err, serverless.ErrClosed) {
@@ -174,34 +137,8 @@ func (p *ServerlessProcessor) dispatch(ctx context.Context, part int, jitter dis
 			// semantics of real event source mappings).
 			continue
 		}
-		now := clock.Now()
-		p.mu.Lock()
-		for _, m := range batch {
-			p.latencies.Add(now.Sub(m.Published).Seconds())
-			p.processed++
-		}
-		p.mu.Unlock()
-		p.progress.Set()
-		offset += int64(len(batch))
-	}
-}
-
-// Processed returns the number of messages completed.
-func (p *ServerlessProcessor) Processed() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.processed
-}
-
-// WaitProcessed blocks until at least n messages completed or ctx ends.
-func (p *ServerlessProcessor) WaitProcessed(ctx context.Context, n int64) error {
-	for {
-		if p.Processed() >= n {
-			return nil
-		}
-		if !p.progress.Wait(ctx) {
-			return ctx.Err()
-		}
+		p.recordBatch(clock.Now(), batch)
+		offsets[0] += int64(len(batch))
 	}
 }
 
@@ -209,26 +146,5 @@ func (p *ServerlessProcessor) WaitProcessed(ctx context.Context, n int64) error 
 func (p *ServerlessProcessor) Stop() {
 	p.stop()
 	p.wg.Wait()
-	p.mu.Lock()
-	p.stopped = p.broker.Clock().Now()
-	p.mu.Unlock()
+	p.markStopped()
 }
-
-// Throughput returns completed messages per modeled second.
-func (p *ServerlessProcessor) Throughput() float64 {
-	p.mu.Lock()
-	processed := p.processed
-	end := p.stopped
-	p.mu.Unlock()
-	if end.IsZero() {
-		end = p.broker.Clock().Now()
-	}
-	elapsed := end.Sub(p.started).Seconds()
-	if elapsed <= 0 {
-		return 0
-	}
-	return float64(processed) / elapsed
-}
-
-// LatencyStats summarizes end-to-end latency (seconds).
-func (p *ServerlessProcessor) LatencyStats() metrics.Summary { return p.latencies.Summary() }

@@ -1,5 +1,5 @@
 // Repo-wide smoke test: every experiment exhibit of the paper's
-// evaluation (DESIGN.md index E1–E12) executes end to end at an
+// evaluation (DESIGN.md index E1–E13) executes end to end at an
 // aggressive virtual-time compression, so a plain `go test ./...`
 // exercises the full pipeline — SAGA adaptors over all five simulated
 // infrastructures, the pilot manager, Pilot-Data/-Memory/-MapReduce/
@@ -47,6 +47,7 @@ func TestSmokeAllExhibits(t *testing.T) {
 		{"E10", "Fig5Loop", func() (*metrics.Table, error) { return tableOnly(experiments.Fig5Loop(smokeScale, 60)) }},
 		{"E11", "AblationAlgorithm", func() (*metrics.Table, error) { return experiments.AblationAlgorithm(smokeScale) }},
 		{"E12", "EnKFAdaptive", func() (*metrics.Table, error) { return experiments.EnKFAdaptive(smokeScale) }},
+		{"E13", "MillionMessages", func() (*metrics.Table, error) { return experiments.MillionMessages(smokeScale, 40_000) }},
 	}
 	for _, ex := range exhibits {
 		t.Run(ex.id+"_"+ex.name, func(t *testing.T) {

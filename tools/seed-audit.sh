@@ -20,6 +20,13 @@
 #      violation would not crash — it would silently break bit-
 #      reproducibility (the draw or clock read happens off the executor
 #      token) — so it fails `make ci` here instead.
+#   5. internal/streaming never ranges over a map (DESIGN.md "Streaming
+#      data plane"): Go randomizes map iteration order, so ranging over
+#      partition/worker/topic bookkeeping decides wake-up and publish
+#      order nondeterministically — the exact hazard the broker's
+#      index-ordered partition walks and the group's sorted member
+#      slices exist to avoid. Keep such state in slices (or collect keys
+#      into a sorted slice *outside* this package's hot paths).
 #
 # Test files (_test.go) are exempt: tests construct fixture roots freely.
 set -u
@@ -67,6 +74,27 @@ for f in $files; do
         echo "$impure" | sed "s|^|seed-audit:   $f:|" >&2
         fail=1
       fi
+      ;;
+  esac
+  # Rule 5: map ranges in the streaming data plane. Pass 1 (below the
+  # loop's first use: streaming_mapvars is collected package-wide, once)
+  # gathers every map-typed identifier declared anywhere in
+  # internal/streaming (var/field declarations and make(map...)
+  # assignments); pass 2 flags any `range` over one of them in this file,
+  # through a selector or not (`range byPart`, `range b.topics`).
+  case "$f" in
+    internal/streaming/*)
+      if [ -z "${streaming_mapvars+x}" ]; then
+        streaming_mapvars=$( (find internal/streaming -name '*.go' ! -name '*_test.go' \
+          -exec grep -ohE '[A-Za-z_][A-Za-z0-9_]*( +| *:?= *(make\()?)map\[' {} + 2>/dev/null || true) \
+          | sed -E 's/( +| *:?= *(make\()?)map\[$//' | sort -u)
+      fi
+      for v in $streaming_mapvars; do
+        if grep -nE "range +([A-Za-z_][A-Za-z0-9_.]*\.)?${v}\b" "$f" >&2; then
+          echo "seed-audit: $f ranges over map \"$v\" — map iteration order is random; keep partition/worker state in slices" >&2
+          fail=1
+        fi
+      done
       ;;
   esac
   case "$f" in
