@@ -199,8 +199,11 @@ func main() {
 		}
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) regressed beyond %.0f%% vs %s (recorded %s at GOMAXPROCS=%d)\n",
-			failures, *maxRegress, *basePath, base.Recorded, base.GoMaxProcs)
+		// Not every failure is a timing regression (missing benchmarks and
+		// absent allocs/op also count) — point the log reader at the FAIL
+		// lines rather than claiming a perf delta that may not exist.
+		fmt.Fprintf(os.Stderr, "benchcompare: %d check(s) failed (time or allocs, see FAIL lines) vs %s (recorded %s at GOMAXPROCS=%d)\n",
+			failures, *basePath, base.Recorded, base.GoMaxProcs)
 		os.Exit(1)
 	}
 	fmt.Printf("benchcompare: all %d benchmarks within %.0f%% of baseline\n", len(got), *maxRegress)

@@ -282,16 +282,21 @@ func (b *Broker) publish(ctx context.Context, topicName string, n int, kv func(i
 		part.mu.Lock()
 		for b.cfg.MaxInflightBytes > 0 && part.inflight > 0 && part.inflight+add > b.cfg.MaxInflightBytes {
 			w := vclock.NewEvent(clock)
-			part.space = append(part.space, w)
+			registerEvent(&part.space, w)
 			part.mu.Unlock()
 			// Re-check closed *after* registering: Close sets the flag
 			// before sweeping the waiter lists, so a registration the sweep
 			// missed is guaranteed to see the flag here instead of parking
-			// on an event nobody will ever fire.
+			// on an event nobody will ever fire. Fire on every abandoning
+			// exit so registerEvent recognizes the entry as dead — without
+			// that, repeatedly canceled publishes against a full partition
+			// would grow part.space without bound until the next Commit.
 			if b.isClosed() {
+				w.Fire()
 				return ErrBrokerClosed
 			}
 			if !w.Wait(ctx) {
+				w.Fire()
 				return ctx.Err()
 			}
 			if b.isClosed() {
@@ -373,20 +378,23 @@ func (p *partition) view(offset int64, max, segSize int) []Message {
 	return seg.msgs[lo:hi:hi]
 }
 
-// registerWaiter parks w on the partition's data-waiter list, pruning
-// entries already fired. Every exit path of the poll calls fires its
-// event, so stale registrations left in other partitions' lists are
-// recognizably dead and pruned on the next registration — without that,
-// skewed traffic would grow a never-published partition's list by one
-// event per wake-up. Caller holds part.mu.
-func registerWaiter(part *partition, w *vclock.Event) {
-	live := part.waiters[:0]
-	for _, old := range part.waiters {
+// registerEvent parks w on one of a partition's waiter lists (data
+// waiters or backpressure space waiters), pruning entries already fired.
+// Every exit path of a parked call fires its event — including the
+// abandoning ones (context canceled, broker closed, poll satisfied by
+// another partition) — so stale registrations are recognizably dead and
+// swept on the next registration. Without that, skewed traffic or
+// repeatedly canceled publishes would grow a list by one event per
+// wake-up until a publish, Commit or Close cleared it. Caller holds
+// part.mu.
+func registerEvent(list *[]*vclock.Event, w *vclock.Event) {
+	live := (*list)[:0]
+	for _, old := range *list {
 		if !old.Fired() {
 			live = append(live, old)
 		}
 	}
-	part.waiters = append(live, w)
+	*list = append(live, w)
 }
 
 // Fetch returns up to max messages from a partition starting at offset,
@@ -453,7 +461,7 @@ func (b *Broker) FetchOrWait(ctx context.Context, topicName string, parts []int,
 			if w == nil {
 				w = vclock.NewEvent(b.cfg.Clock)
 			}
-			registerWaiter(part, w)
+			registerEvent(&part.waiters, w)
 			part.mu.Unlock()
 		}
 		// Checked after registration (see publish): a Close whose sweep ran
@@ -502,7 +510,7 @@ func (b *Broker) WaitAny(ctx context.Context, topicName string, parts []int, off
 			w.Fire()
 			return true, nil
 		}
-		registerWaiter(part, w)
+		registerEvent(&part.waiters, w)
 		part.mu.Unlock()
 	}
 	if b.isClosed() {

@@ -172,9 +172,17 @@ func (g *Group) newGenerationLocked(members []int) *generation {
 	}
 	ng.ctx, ng.cancel = context.WithCancel(g.runCtx)
 	// The barrier waits for every worker the change touches: continuing
-	// and departing members of the old epoch, plus joiners (whose ack
-	// doubles as proof their unit actually started).
-	ng.waitFor = unionInts(old.members, members)
+	// and departing members of the old epoch, joiners (whose ack doubles
+	// as proof their unit actually started), and — because membership can
+	// change again before everyone converges — the ordinals the old epoch
+	// was itself still waiting on. A worker removed in generation N is in
+	// neither N's nor N+1's member set, and N's ready is force-fired on
+	// retirement below; if it has not yet acked N, only old.waitFor still
+	// records that it is out there finishing a batch under an older
+	// assignment. Dropping it would let back-to-back membership changes
+	// activate N+1 while that worker still owns a partition, breaking the
+	// exactly-once handoff (its late commit would also rewind g.offsets).
+	ng.waitFor = unionInts(unionInts(old.waitFor, old.members), members)
 	if len(ng.waitFor) == 0 {
 		ng.ready.Fire()
 	}
@@ -191,35 +199,21 @@ func (g *Group) newGenerationLocked(members []int) *generation {
 	return ng
 }
 
-// ack records that worker `ordinal` has quiesced into generation gen;
-// the last expected ack activates the assignment.
-func (g *Group) ack(gen *generation, ordinal int) {
-	g.mu.Lock()
+// dropWaitLocked releases ordinal's slot in gen's barrier, firing ready
+// when the last slot empties — the single place barrier slots are
+// removed, whatever the reason (ack, eviction, spawn failure). Callers
+// hold g.mu; firing under the lock is safe, newGenerationLocked already
+// fires retired-generation events the same way.
+func dropWaitLocked(gen *generation, ordinal int) {
 	for i, o := range gen.waitFor {
 		if o == ordinal {
 			gen.waitFor = append(gen.waitFor[:i], gen.waitFor[i+1:]...)
 			break
 		}
 	}
-	fire := len(gen.waitFor) == 0 && !gen.ready.Fired()
-	g.mu.Unlock()
-	if fire {
+	if len(gen.waitFor) == 0 && !gen.ready.Fired() {
 		gen.ready.Fire()
 	}
-}
-
-// forgetLocked removes a never-started ordinal from the current barrier
-// (spawn failure compensation). Callers hold g.mu; returns whether the
-// barrier completed.
-func (g *Group) forgetLocked(ordinal int) bool {
-	gen := g.cur
-	for i, o := range gen.waitFor {
-		if o == ordinal {
-			gen.waitFor = append(gen.waitFor[:i], gen.waitFor[i+1:]...)
-			break
-		}
-	}
-	return len(gen.waitFor) == 0 && !gen.ready.Fired()
 }
 
 // AddWorker grows the pool by one worker, returning its ordinal. The new
@@ -250,11 +244,8 @@ func (g *Group) AddWorker() (int, error) {
 	if err != nil {
 		// Compensate: drop the member again and release its barrier slot —
 		// its unit will never ack.
-		members := removeInt(g.cur.members, ord)
-		ng := g.newGenerationLocked(members)
-		if g.forgetLocked(ord) {
-			ng.ready.Fire()
-		}
+		g.newGenerationLocked(removeInt(g.cur.members, ord))
+		dropWaitLocked(g.cur, ord)
 		return 0, err
 	}
 	g.units = append(g.units, u)
@@ -308,11 +299,19 @@ func (g *Group) run(tc core.TaskContext, ordinal int, jitter dist.Dist) error {
 		}
 		g.mu.Lock()
 		gen := g.cur
-		g.mu.Unlock()
 		if gen.id != acked {
-			g.ack(gen, ordinal)
+			// The ack must happen under the same lock that read g.cur:
+			// between a bare read and a later ack, a membership change could
+			// install a successor that inherits this ordinal through the
+			// waitFor carry-forward — acking the stale epoch and exiting
+			// would then leave the successor's barrier waiting forever on a
+			// worker that is gone. (vclock.Virtual's single-runner token
+			// makes that window unreachable; on real clocks it is a genuine
+			// race.)
+			dropWaitLocked(gen, ordinal)
 			acked = gen.id
 		}
+		g.mu.Unlock()
 		idx := slices.Index(gen.members, ordinal)
 		if idx < 0 {
 			return nil // removed from the group
@@ -350,19 +349,14 @@ func (g *Group) run(tc core.TaskContext, ordinal int, jitter dist.Dist) error {
 // teardown it is a no-op — every worker exits then.
 func (g *Group) evict(ordinal int) {
 	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.runCtx.Err() != nil {
-		g.mu.Unlock()
 		return
 	}
 	if slices.Contains(g.cur.members, ordinal) {
 		g.newGenerationLocked(removeInt(g.cur.members, ordinal))
 	}
-	gen := g.cur
-	fire := g.forgetLocked(ordinal)
-	g.mu.Unlock()
-	if fire {
-		gen.ready.Fire()
-	}
+	dropWaitLocked(g.cur, ordinal)
 }
 
 // consume drains the shard until the generation retires or the group
@@ -398,9 +392,20 @@ func (g *Group) consume(gen *generation, tc core.TaskContext, parts []int, jitte
 		}
 		offsets[i] += int64(len(batch))
 		g.mu.Lock()
-		g.offsets[parts[i]] = offsets[i]
+		// Monotonic max, not a blind store: the barrier guarantees sole
+		// ownership during a tenure, and this guard makes the guarantee
+		// robust — even a late retiree's commit can never rewind the cursor
+		// a successor has already advanced (broker.Commit is monotone too).
+		if offsets[i] > g.offsets[parts[i]] {
+			g.offsets[parts[i]] = offsets[i]
+		}
 		g.mu.Unlock()
-		g.broker.Commit(g.cfg.Topic, parts[i], offsets[i])
+		if err := g.broker.Commit(g.cfg.Topic, parts[i], offsets[i]); err != nil {
+			// Broker closed (or topic torn down) between the fetch and the
+			// commit: exit so run() evicts this worker now instead of
+			// discovering the closure on the next poll.
+			return err
+		}
 		if gen.ctx.Err() != nil {
 			return nil
 		}

@@ -2,6 +2,7 @@ package streaming
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -407,6 +408,176 @@ func TestGroupWorkerFailureEvictsAndRebalances(t *testing.T) {
 		t.Fatalf("members = %d after re-join, want 2", got)
 	}
 	g.Stop()
+}
+
+// TestGroupBackToBackRebalanceExactlyOnce is the regression test for the
+// generation-barrier carry-forward: a worker removed in generation N is
+// in neither N's nor N+1's member set, so if membership changes again
+// before it quiesces, only N's still-pending barrier slots remember it.
+// The successor barrier must inherit those slots — otherwise the new
+// assignment activates (N's ready is force-fired on retirement) while
+// the removed worker still owns a partition mid-batch, and its messages
+// are processed twice.
+//
+// Construction: all traffic is keyed to partition 1, whose owner (worker
+// ordinal 1) is deep in a long modeled batch when the driver issues
+// RemoveWorker(1) immediately followed by AddWorker() — two membership
+// changes with no ack in between. The joiner inherits partition 1 and
+// must not re-consume the in-flight batch.
+func TestGroupBackToBackRebalanceExactlyOnce(t *testing.T) {
+	clock := vclock.NewVirtual(vclock.Epoch)
+	clock.Adopt()
+	defer clock.Leave()
+	b := NewBroker(BrokerConfig{
+		AppendCost: 100 * time.Microsecond, FetchLatency: time.Millisecond, Clock: clock,
+	})
+	defer b.Close()
+	const nparts = 2
+	if err := b.CreateTopic("t", nparts); err != nil {
+		t.Fatal(err)
+	}
+	mgr := newVirtualStreamEnv(t, clock, 8)
+	defer mgr.Close()
+
+	// A key owned by partition 1, so every publish lands on worker 1's
+	// shard while worker 0 idles on an empty partition 0.
+	var key []byte
+	for i := 0; key == nil; i++ {
+		if k := []byte(fmt.Sprintf("k%d", i)); partitionOf(k, nparts) == 1 {
+			key = k
+		}
+	}
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	g, err := StartGroup(context.Background(), mgr, b, GroupConfig{
+		Name: "g", Topic: "t", Workers: 2, BatchSize: 64,
+		CostPerMessage: 4 * time.Millisecond, // 48-message batch = 192ms mid-flight window
+		Handler: func(_ context.Context, _ core.TaskContext, m Message) error {
+			mu.Lock()
+			seen[fmt.Sprintf("%d@%d", m.Partition, m.Offset)]++
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 48
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	publish := func() {
+		kvs := make([][2][]byte, batch)
+		for i := range kvs {
+			kvs[i] = [2][]byte{key, []byte("x")}
+		}
+		if _, err := b.PublishBatch(ctx, "t", kvs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish()
+	// Land the driver strictly inside worker 1's batch window: the fetch
+	// completes within ~6ms of Epoch, the modeled batch cost runs ~192ms.
+	if !clock.Sleep(ctx, 50*time.Millisecond) {
+		t.Fatal("driver sleep canceled")
+	}
+	ord := g.Members()[1]
+	if err := g.RemoveWorker(ord); err != nil {
+		t.Fatal(err)
+	}
+	// Second membership change before anyone acked the first: the barrier
+	// for this generation must still wait for the removed worker 1.
+	if _, err := g.AddWorker(); err != nil {
+		t.Fatal(err)
+	}
+	publish()
+	if err := g.WaitProcessed(ctx, 2*batch); err != nil {
+		t.Fatalf("processed %d/%d: %v", g.Processed(), 2*batch, err)
+	}
+	// The commit cursor must converge on exactly one pass over the log:
+	// the late retiree's commit lands first, the successor's follows.
+	for i := 0; ; i++ {
+		c, err := b.Committed("t", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == 2*batch {
+			break
+		}
+		if c > 2*batch {
+			t.Fatalf("committed = %d past end of log %d", c, 2*batch)
+		}
+		if i > 10_000 || !clock.Sleep(ctx, 10*time.Millisecond) {
+			t.Fatalf("committed %d of %d", c, 2*batch)
+		}
+	}
+	g.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2*batch {
+		t.Fatalf("distinct messages = %d, want %d", len(seen), 2*batch)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("message %s handled %d times, want exactly once (late retiree raced the joiner)", k, c)
+		}
+	}
+	if got := g.Processed(); got != 2*batch {
+		t.Errorf("processed = %d, want %d (exactly-once accounting)", got, 2*batch)
+	}
+}
+
+// TestCanceledBackpressurePublishLeavesNoWaiters pins the space-waiter
+// hygiene of the producer park: a publish abandoned on context
+// cancellation must fire its event so the next registration prunes it —
+// repeatedly canceled publishes against a full partition must not grow
+// part.space until a Commit or Close sweeps it.
+func TestCanceledBackpressurePublishLeavesNoWaiters(t *testing.T) {
+	clock := vclock.NewVirtual(vclock.Epoch)
+	clock.Adopt()
+	defer clock.Leave()
+	b := NewBroker(BrokerConfig{
+		AppendCost:       time.Millisecond,
+		MaxInflightBytes: 100,
+		Clock:            clock,
+	})
+	defer b.Close()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	payload := make([]byte, 100)
+	// Fill the partition exactly to the backpressure bound.
+	if err := b.PublishValues(ctx, "t", [][]byte{payload}); err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancelNow := context.WithCancel(ctx)
+	cancelNow()
+	for i := 0; i < 50; i++ {
+		if _, err := b.Publish(canceled, "t", nil, payload); !errors.Is(err, context.Canceled) {
+			t.Fatalf("publish %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	b.mu.Lock()
+	part := b.topics["t"].partitions[0]
+	b.mu.Unlock()
+	part.mu.Lock()
+	waiters := len(part.space)
+	part.mu.Unlock()
+	// At most the last abandoned (already-fired) entry may linger; every
+	// earlier one must have been pruned at registration time.
+	if waiters > 1 {
+		t.Fatalf("part.space holds %d entries after 50 canceled publishes, want <= 1", waiters)
+	}
+	// The surviving entry must be recognizably dead so a live producer's
+	// registration sweeps it too.
+	part.mu.Lock()
+	for _, w := range part.space {
+		if !w.Fired() {
+			t.Error("abandoned space waiter left unfired")
+		}
+	}
+	part.mu.Unlock()
 }
 
 // TestGroupValidation covers the constructor error paths.
