@@ -28,7 +28,8 @@ bench-compare:
 
 # Seeding-spine lint: no math/rand and no raw integer seeds outside
 # internal/dist; stream roots only where experiments are born; no clock
-# reads, stream draws or data-service calls inside Compute closures.
+# reads, stream draws or data-service calls inside Compute closures; no
+# sleeps, timers or clocks inside the internal/plan control plane.
 seed-audit:
 	bash tools/seed-audit.sh
 

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"gopilot/internal/dist"
 	"gopilot/internal/infra"
 	"gopilot/internal/metrics"
+	"gopilot/internal/plan"
 	"gopilot/internal/saga"
 	"gopilot/internal/vclock"
 )
@@ -16,7 +19,9 @@ import (
 // Scheduler decides which pilot a pending unit binds to. Candidates are
 // running pilots with enough free cores; returning nil defers the unit.
 // Implementations live in package scheduler; the manager defaults to
-// first-fit FIFO.
+// first-fit FIFO. The manager wires the policy into the control plane's
+// TickPlanner (package plan), which owns the queue and retry state around
+// this choice.
 type Scheduler interface {
 	// Name identifies the policy in experiment reports.
 	Name() string
@@ -48,18 +53,35 @@ type Config struct {
 	// Every pilot and unit receives a labeled child ("pilot"/<ordinal>,
 	// "unit"/<ordinal>) derived from it, so draws made by one component
 	// never shift another's — and a unit keeps the same stream across
-	// retries and regardless of which pilot it lands on. Defaults to
+	// retries and regardless of which pilot it lands on. The planner's
+	// retry jitter lives in its own "retry"/<ordinal> subtree. Defaults to
 	// dist.Unseeded("manager"); experiments should pass a named child of
 	// their own root instead.
 	Stream *dist.Stream
 	// OnUnitChange, if set, observes every unit state transition
 	// (instrumentation hook used by the Mini-App framework).
 	OnUnitChange func(cu *ComputeUnit, state UnitState)
+	// Backoff shapes the retry delay applied by the planner when a pilot
+	// is lost under (or before) a unit; zero fields take the defaults
+	// documented on plan.Backoff.
+	Backoff plan.Backoff
+	// ReconcileEvery is the drift-reconciliation period in virtual time:
+	// desired unit/pilot state is compared against agent state and
+	// divergences are corrected. Zero means the 30s default; negative
+	// disables the reconciler.
+	ReconcileEvery time.Duration
 }
 
-// Manager is the Pilot-Manager of the P* model: it owns pilots, the shared
-// unit queue, and the late-binding dispatch cycle. It corresponds to the
-// Pilot-API's PilotComputeService/ComputeDataService pair.
+// DefaultReconcileEvery is the reconciler period used when
+// Config.ReconcileEvery is zero.
+const DefaultReconcileEvery = 30 * time.Second
+
+// Manager is the Pilot-Manager of the P* model: it owns pilots and the
+// unit lifecycle, and corresponds to the Pilot-API's
+// PilotComputeService/ComputeDataService pair. Placement itself is
+// delegated: a plan.Planner owns the pending queue, retry budget/backoff
+// and per-backend watermarks, and the manager's dispatch loop just asks
+// it for decisions and executes them.
 type Manager struct {
 	cfg Config
 
@@ -67,25 +89,31 @@ type Manager struct {
 	unitRoot  *dist.Stream // parent of per-unit streams ("unit"/<ordinal>)
 
 	mu          sync.Mutex
+	planner     *plan.Planner
+	recon       *plan.Reconciler
 	pilots      []*Pilot
-	pending     []*ComputeUnit
 	units       []*ComputeUnit
+	pilotByID   map[string]*Pilot
+	unitByID    map[string]*ComputeUnit
 	nextPilotID int
 	nextUnitID  int
 	activeUnits int
 	idle        *vclock.Event
+	nextWake    time.Time // earliest scheduled dispatch self-wake
 	closed      bool
 
-	kick *vclock.Notifier
-	ctx  context.Context
-	stop context.CancelFunc
-	wg   *vclock.Group
+	kick      *vclock.Notifier
+	reconKick *vclock.Notifier
+	ctx       context.Context
+	stop      context.CancelFunc
+	wg        *vclock.Group
 }
 
 // ErrManagerClosed is returned by submissions after Close.
 var ErrManagerClosed = errors.New("core: manager closed")
 
-// NewManager creates a Manager and starts its dispatch loop.
+// NewManager creates a Manager and starts its dispatch and reconcile
+// loops.
 func NewManager(cfg Config) *Manager {
 	if cfg.Registry == nil {
 		cfg.Registry = saga.NewRegistry()
@@ -99,18 +127,55 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Stream == nil {
 		cfg.Stream = dist.Unseeded("manager")
 	}
+	if cfg.ReconcileEvery == 0 {
+		cfg.ReconcileEvery = DefaultReconcileEvery
+	}
 	m := &Manager{
 		cfg:       cfg,
 		pilotRoot: cfg.Stream.Named("pilot"),
 		unitRoot:  cfg.Stream.Named("unit"),
+		pilotByID: make(map[string]*Pilot),
+		unitByID:  make(map[string]*ComputeUnit),
+		recon:     plan.NewReconciler(),
 		idle:      vclock.NewEvent(cfg.Clock),
 		kick:      vclock.NewNotifier(cfg.Clock),
+		reconKick: vclock.NewNotifier(cfg.Clock),
 		wg:        vclock.NewGroup(cfg.Clock),
 	}
+	m.planner = plan.New(plan.Config{
+		Stream:  cfg.Stream,
+		Backoff: cfg.Backoff,
+		// The policy adapter resolves planner IDs back to live objects for
+		// the pluggable Scheduler. It runs inside Plan, under m.mu.
+		Policy: func(u plan.UnitSpec, cands []plan.Candidate) string {
+			cu := m.unitByID[u.ID]
+			if cu == nil {
+				return ""
+			}
+			pilots := make([]*Pilot, 0, len(cands))
+			for _, c := range cands {
+				if p := m.pilotByID[c.ID]; p != nil {
+					pilots = append(pilots, p)
+				}
+			}
+			if len(pilots) == 0 {
+				return ""
+			}
+			p := m.cfg.Scheduler.SelectPilot(cu, pilots, m.cfg.Data)
+			if p == nil {
+				return ""
+			}
+			return p.id
+		},
+	})
 	m.idle.Fire() // no active units yet: idle
 	m.ctx, m.stop = context.WithCancel(context.Background())
 	m.wg.Add(1)
 	vclock.Go(cfg.Clock, m.dispatchLoop)
+	if cfg.ReconcileEvery > 0 {
+		m.wg.Add(1)
+		vclock.Go(cfg.Clock, m.reconcileLoop)
+	}
 	return m
 }
 
@@ -130,6 +195,13 @@ func (m *Manager) SchedulerName() string { return m.cfg.Scheduler.Name() }
 // Frameworks running on the manager (apps, processors) derive their own
 // labeled children from it when not handed a stream explicitly.
 func (m *Manager) Stream() *dist.Stream { return m.cfg.Stream }
+
+// Watermarks returns the planner's per-backend dispatch watermarks.
+func (m *Manager) Watermarks() map[string]plan.Watermark {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.planner.Watermarks()
+}
 
 // SubmitPilot submits a placeholder job to the resource named in the
 // description and returns immediately with a Pending pilot.
@@ -161,6 +233,7 @@ func (m *Manager) SubmitPilot(d PilotDescription) (*Pilot, error) {
 		done:      vclock.NewEvent(m.cfg.Clock),
 	}
 	m.pilots = append(m.pilots, p)
+	m.pilotByID[p.id] = p
 	m.mu.Unlock()
 
 	job, err := svc.Submit(saga.Description{
@@ -178,9 +251,11 @@ func (m *Manager) SubmitPilot(d PilotDescription) (*Pilot, error) {
 				break
 			}
 		}
+		delete(m.pilotByID, p.id)
 		m.mu.Unlock()
 		return nil, fmt.Errorf("core: pilot submission to %s failed: %w", d.Resource, err)
 	}
+	m.reconKick.Set()
 	m.wg.Add(1)
 	vclock.Go(m.cfg.Clock, func() {
 		defer m.wg.Done()
@@ -190,7 +265,7 @@ func (m *Manager) SubmitPilot(d PilotDescription) (*Pilot, error) {
 	return p, nil
 }
 
-// SubmitUnit adds a unit to the shared queue for late binding.
+// SubmitUnit adds a unit to the planner's queue for late binding.
 func (m *Manager) SubmitUnit(d UnitDescription) (*ComputeUnit, error) {
 	if d.Run == nil {
 		return nil, errors.New("core: unit description has nil Run")
@@ -213,13 +288,20 @@ func (m *Manager) SubmitUnit(d UnitDescription) (*ComputeUnit, error) {
 		done:      vclock.NewEvent(m.cfg.Clock),
 	}
 	m.units = append(m.units, u)
-	m.pending = append(m.pending, u)
+	m.unitByID[u.id] = u
+	m.planner.Admit(plan.UnitSpec{
+		ID:         u.id,
+		Ordinal:    uint64(m.nextUnitID),
+		Cores:      d.Cores,
+		MaxRetries: d.MaxRetries,
+	})
 	if m.activeUnits == 0 {
 		m.idle = vclock.NewEvent(m.cfg.Clock)
 	}
 	m.activeUnits++
 	m.mu.Unlock()
 	m.notify(u, UnitPending)
+	m.reconKick.Set()
 	m.wake()
 	return u, nil
 }
@@ -247,12 +329,7 @@ func (m *Manager) CancelUnit(u *ComputeUnit) {
 	u.mu.Unlock()
 	if state == UnitPending {
 		m.mu.Lock()
-		for i, q := range m.pending {
-			if q == u {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
-				break
-			}
-		}
+		m.planner.Forget(u.id)
 		m.mu.Unlock()
 		m.finishUnit(nil, u, UnitCanceled, context.Canceled)
 		return
@@ -276,11 +353,12 @@ func (m *Manager) Units() []*ComputeUnit {
 	return append([]*ComputeUnit(nil), m.units...)
 }
 
-// QueueDepth returns the number of units awaiting binding.
+// QueueDepth returns the number of units awaiting binding (including
+// units parked in retry backoff).
 func (m *Manager) QueueDepth() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.pending)
+	return m.planner.PendingLen()
 }
 
 // WaitAll blocks until every submitted unit is terminal, or ctx is done.
@@ -299,7 +377,8 @@ func (m *Manager) WaitAll(ctx context.Context) error {
 	}
 }
 
-// Close cancels all pilots and pending units and stops the dispatch loop.
+// Close cancels all pilots and pending units and stops the dispatch and
+// reconcile loops.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -307,8 +386,12 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
-	pend := append([]*ComputeUnit(nil), m.pending...)
-	m.pending = nil
+	var pend []*ComputeUnit
+	for _, id := range m.planner.DrainPending() {
+		if u := m.unitByID[id]; u != nil {
+			pend = append(pend, u)
+		}
+	}
 	pilots := append([]*Pilot(nil), m.pilots...)
 	m.mu.Unlock()
 
@@ -362,40 +445,93 @@ func (m *Manager) dispatchLoop() {
 	}
 }
 
-// dispatchOnce performs one late-binding pass: pending units, in submission
-// order, are offered to the scheduler; bound units are reserved onto their
-// pilot and handed to its agent. Units that fit nowhere stay queued, so
-// smaller later units may bind first (opportunistic backfill inside the
-// pilot pool).
+// dispatchOnce performs one late-binding pass: it asks the planner for
+// this instant's decisions and executes them through the plannerExec
+// callbacks. If the planner is holding units in retry backoff, a
+// self-wake is scheduled for the earliest eligibility instant.
 func (m *Manager) dispatchOnce() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var remaining []*ComputeUnit
 	now := m.cfg.Clock.Now()
-	for _, cu := range m.pending {
-		cands := m.candidatesLocked(cu)
-		if len(cands) == 0 {
-			remaining = append(remaining, cu)
-			continue
-		}
-		p := m.cfg.Scheduler.SelectPilot(cu, cands, m.cfg.Data)
-		if p == nil {
-			remaining = append(remaining, cu)
-			continue
-		}
-		p.mu.Lock()
-		p.freeCores -= cu.desc.Cores
-		p.running[cu] = struct{}{}
-		p.mu.Unlock()
-		cu.mu.Lock()
-		cu.state = UnitScheduled
-		cu.pilot = p
-		cu.scheduled = now
-		cu.mu.Unlock()
-		m.notify(cu, UnitScheduled)
-		p.pushWork(cu)
+	m.mu.Lock()
+	next := m.planner.Plan(now, &plannerExec{m: m, now: now})
+	if !next.IsZero() {
+		m.wakeAtLocked(next)
 	}
-	m.pending = remaining
+	m.mu.Unlock()
+}
+
+// plannerExec executes planner decisions against the live world. Its
+// methods are called synchronously from plan.Plan while m.mu is held, so
+// each bind is visible to the next unit's candidate query within the
+// same tick.
+type plannerExec struct {
+	m   *Manager
+	now time.Time
+}
+
+// Candidates implements plan.Executor.
+func (e *plannerExec) Candidates(u plan.UnitSpec) []plan.Candidate {
+	cu := e.m.unitByID[u.ID]
+	if cu == nil {
+		return nil
+	}
+	pilots := e.m.candidatesLocked(cu)
+	out := make([]plan.Candidate, 0, len(pilots))
+	for _, p := range pilots {
+		out = append(out, plan.Candidate{ID: p.id, Backend: p.desc.Resource, FreeCores: p.FreeCores()})
+	}
+	return out
+}
+
+// Bind implements plan.Executor: reserve cores, mark the unit Scheduled
+// and hand it to the pilot's agent.
+func (e *plannerExec) Bind(u plan.UnitSpec, pilotID string) {
+	m := e.m
+	cu := m.unitByID[u.ID]
+	p := m.pilotByID[pilotID]
+	if cu == nil || p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.freeCores -= cu.desc.Cores
+	p.running[cu] = struct{}{}
+	p.mu.Unlock()
+	cu.mu.Lock()
+	cu.state = UnitScheduled
+	cu.pilot = p
+	cu.scheduled = e.now
+	cu.mu.Unlock()
+	m.notify(cu, UnitScheduled)
+	p.pushWork(cu)
+}
+
+// wakeAtLocked schedules a dispatch self-wake at t (m.mu must be held).
+// Only an improvement on the earliest outstanding wake spawns a sleeper;
+// late sleepers just trigger a no-op dispatch pass.
+func (m *Manager) wakeAtLocked(t time.Time) {
+	if m.closed {
+		return
+	}
+	if !m.nextWake.IsZero() && !t.Before(m.nextWake) {
+		return
+	}
+	m.nextWake = t
+	d := t.Sub(m.cfg.Clock.Now())
+	if d < 0 {
+		d = 0
+	}
+	m.wg.Add(1)
+	vclock.Go(m.cfg.Clock, func() {
+		defer m.wg.Done()
+		if !m.cfg.Clock.Sleep(m.ctx, d) {
+			return
+		}
+		m.mu.Lock()
+		if m.nextWake.Equal(t) {
+			m.nextWake = time.Time{}
+		}
+		m.mu.Unlock()
+		m.wake()
+	})
 }
 
 // candidatesLocked returns running pilots able to host cu right now.
@@ -429,7 +565,8 @@ func (m *Manager) pilotStarted(p *Pilot, alloc infra.Allocation) {
 }
 
 // pilotEnded finalizes a pilot when its placeholder job terminates, and
-// requeues units that were assigned but never picked up.
+// routes units that were assigned but never picked up through the
+// planner's pre-start failure path.
 func (m *Manager) pilotEnded(p *Pilot, job saga.Job) {
 	now := m.cfg.Clock.Now()
 	m.mu.Lock()
@@ -447,12 +584,13 @@ func (m *Manager) pilotEnded(p *Pilot, job saga.Job) {
 	p.ended = now
 	p.mu.Unlock()
 
-	// Units stuck in the work queue (agent gone) go back to the queue.
+	// Units stuck in the work queue (agent gone) go back to the planner.
 	stranded := p.drainWork()
 	m.mu.Unlock()
 	for _, cu := range stranded {
 		m.returnSlots(p, cu)
-		m.requeueOrFail(cu, fmt.Errorf("core: pilot %s terminated before unit start", p.id))
+		m.requeueOrFail(cu, plan.FailurePreStart,
+			fmt.Errorf("core: pilot %s terminated before unit start", p.id))
 	}
 	p.started.Fire() // unblock WaitRunning callers on failed pilots
 	p.done.Fire()
@@ -490,7 +628,7 @@ func (m *Manager) executeUnit(ctx context.Context, p *Pilot, cu *ComputeUnit) {
 			if err := m.cfg.Data.StageIn(runCtx, id, site); err != nil {
 				m.returnSlots(p, cu)
 				if runCtx.Err() != nil && !cu.isCancelled() {
-					m.requeueOrFail(cu, fmt.Errorf("core: staging interrupted: %w", err))
+					m.requeueOrFail(cu, plan.FailureExecution, fmt.Errorf("core: staging interrupted: %w", err))
 				} else if cu.isCancelled() {
 					m.finishUnit(p, cu, UnitCanceled, err)
 				} else {
@@ -529,7 +667,8 @@ func (m *Manager) executeUnit(ctx context.Context, p *Pilot, cu *ComputeUnit) {
 	case runCtx.Err() != nil && ctx.Err() != nil:
 		// The pilot died under the unit (walltime/eviction): retry budget
 		// decides between requeue and failure.
-		m.requeueOrFail(cu, fmt.Errorf("core: pilot %s lost during execution: %w", p.id, runCtx.Err()))
+		m.requeueOrFail(cu, plan.FailureExecution,
+			fmt.Errorf("core: pilot %s lost during execution: %w", p.id, runCtx.Err()))
 	case err != nil:
 		m.finishUnit(p, cu, UnitFailed, err)
 	default:
@@ -549,28 +688,34 @@ func (m *Manager) returnSlots(p *Pilot, cu *ComputeUnit) {
 	m.wake()
 }
 
-// requeueOrFail returns a unit to the pending queue if it has retry budget.
-func (m *Manager) requeueOrFail(cu *ComputeUnit, cause error) {
-	cu.mu.Lock()
-	retry := cu.attempts <= cu.desc.MaxRetries && !cu.cancelled
-	if retry {
+// requeueOrFail routes a failed dispatch through the planner: one charge
+// against the unit's shared MaxRetries budget, then either a backoff-
+// delayed requeue or terminal failure.
+func (m *Manager) requeueOrFail(cu *ComputeUnit, class plan.FailureClass, cause error) {
+	now := m.cfg.Clock.Now()
+	m.mu.Lock()
+	if m.closed {
+		m.planner.Forget(cu.id)
+		m.mu.Unlock()
+		m.finishUnit(nil, cu, UnitCanceled, ErrManagerClosed)
+		return
+	}
+	var v plan.Verdict
+	if cu.isCancelled() {
+		m.planner.Forget(cu.id)
+	} else {
+		v = m.planner.NoteFailure(cu.id, class, now)
+	}
+	if v.Retry {
+		cu.mu.Lock()
 		cu.state = UnitPending
 		cu.pilot = nil
 		cu.cancelRun = nil
-	}
-	cu.mu.Unlock()
-	if !retry {
-		m.finishUnit(nil, cu, UnitFailed, cause)
-		return
-	}
-	m.mu.Lock()
-	closed := m.closed
-	if !closed {
-		m.pending = append(m.pending, cu)
+		cu.mu.Unlock()
 	}
 	m.mu.Unlock()
-	if closed {
-		m.finishUnit(nil, cu, UnitCanceled, ErrManagerClosed)
+	if !v.Retry {
+		m.finishUnit(nil, cu, UnitFailed, cause)
 		return
 	}
 	m.notify(cu, UnitPending)
@@ -593,6 +738,7 @@ func (m *Manager) finishUnit(p *Pilot, cu *ComputeUnit, s UnitState, err error) 
 	m.notify(cu, s)
 
 	m.mu.Lock()
+	m.planner.Forget(cu.id)
 	m.activeUnits--
 	idle := m.idle
 	fire := m.activeUnits == 0
@@ -600,6 +746,216 @@ func (m *Manager) finishUnit(p *Pilot, cu *ComputeUnit, s UnitState, err error) 
 	if fire {
 		idle.Fire()
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Drift reconciliation
+// ---------------------------------------------------------------------------
+
+// reconcileLoop periodically compares desired vs actual state and applies
+// corrections. While the manager has neither live pilots nor active units
+// it parks without a deadline, so an idle manager adds no timeline events.
+func (m *Manager) reconcileLoop() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		busy := m.activeUnits > 0
+		if !busy {
+			for _, p := range m.pilots {
+				if !p.State().Terminal() {
+					busy = true
+					break
+				}
+			}
+		}
+		m.mu.Unlock()
+		if !busy {
+			if !m.reconKick.Wait(m.ctx) {
+				return
+			}
+			continue
+		}
+		if !m.cfg.Clock.Sleep(m.ctx, m.cfg.ReconcileEvery) {
+			return
+		}
+		m.ReconcileOnce()
+	}
+}
+
+// ReconcileOnce runs one desired-vs-actual scan and corrects every drift
+// confirmed by two consecutive scans (plan.Reconciler's anti-flap rule).
+// It returns the corrections applied, in deterministic order.
+func (m *Manager) ReconcileOnce() []plan.Drift {
+	m.mu.Lock()
+	units := make([]plan.UnitStatus, 0, len(m.units))
+	for _, u := range m.units {
+		u.mu.Lock()
+		st := plan.UnitStatus{ID: u.id, Terminal: u.state.Terminal()}
+		if u.pilot != nil && (u.state == UnitScheduled || u.state == UnitStaging || u.state == UnitRunning) {
+			st.Bound = true
+			st.Started = u.state != UnitScheduled
+			st.Pilot = u.pilot.id
+		}
+		u.mu.Unlock()
+		units = append(units, st)
+	}
+	pilots := make([]plan.PilotStatus, 0, len(m.pilots))
+	for _, p := range m.pilots {
+		p.mu.Lock()
+		st := plan.PilotStatus{
+			ID:       p.id,
+			Running:  p.state == PilotRunning,
+			Terminal: p.state.Terminal(),
+		}
+		for _, cu := range p.workQ {
+			st.Units = append(st.Units, cu.id)
+		}
+		for cu := range p.running {
+			st.Units = append(st.Units, cu.id)
+		}
+		p.mu.Unlock()
+		sort.Strings(st.Units)
+		st.Units = dedupSorted(st.Units)
+		pilots = append(pilots, st)
+	}
+	confirmed := m.recon.Observe(units, pilots)
+	m.mu.Unlock()
+
+	var applied []plan.Drift
+	for _, d := range confirmed {
+		m.mu.Lock()
+		cu := m.unitByID[d.Unit]
+		p := m.pilotByID[d.Pilot]
+		m.mu.Unlock()
+		if p == nil {
+			continue
+		}
+		if m.applyDrift(d, cu, p) {
+			applied = append(applied, d)
+		}
+	}
+	return applied
+}
+
+// applyDrift corrects one confirmed drift, rechecking that it still holds
+// under the object locks. Reports whether a correction was applied.
+func (m *Manager) applyDrift(d plan.Drift, cu *ComputeUnit, p *Pilot) bool {
+	switch d.Class {
+	case plan.DriftOrphan:
+		// The agent holds a unit the control plane no longer binds there:
+		// release the reservation and drop it from the work queue.
+		if cu == nil {
+			return false
+		}
+		cu.mu.Lock()
+		stillBound := !cu.state.Terminal() && cu.pilot == p
+		cu.mu.Unlock()
+		if stillBound {
+			return false
+		}
+		p.mu.Lock()
+		freed := false
+		if _, ok := p.running[cu]; ok {
+			delete(p.running, cu)
+			p.freeCores += cu.desc.Cores
+			freed = true
+		}
+		for i, q := range p.workQ {
+			if q == cu {
+				p.workQ = append(p.workQ[:i], p.workQ[i+1:]...)
+				freed = true
+				break
+			}
+		}
+		p.mu.Unlock()
+		if freed {
+			m.wake()
+		}
+		return freed
+
+	case plan.DriftStateMismatch:
+		// A live unit is bound to a terminal pilot: release its slot there
+		// and route it through the planner's failure path.
+		if cu == nil || !p.State().Terminal() {
+			return false
+		}
+		cu.mu.Lock()
+		mismatched := !cu.state.Terminal() && cu.pilot == p
+		started := cu.state == UnitStaging || cu.state == UnitRunning
+		cu.mu.Unlock()
+		if !mismatched {
+			return false
+		}
+		p.mu.Lock()
+		if _, ok := p.running[cu]; ok {
+			delete(p.running, cu)
+			p.freeCores += cu.desc.Cores
+		}
+		for i, q := range p.workQ {
+			if q == cu {
+				p.workQ = append(p.workQ[:i], p.workQ[i+1:]...)
+				break
+			}
+		}
+		p.mu.Unlock()
+		class := plan.FailurePreStart
+		if started {
+			class = plan.FailureExecution
+		}
+		m.requeueOrFail(cu, class, fmt.Errorf("core: reconcile: unit bound to terminated pilot %s", p.id))
+		return true
+
+	default: // plan.DriftMissingOnAgent
+		// A bound unit vanished from the agent's bookkeeping: restore the
+		// reservation, and re-queue it with the agent if it had not
+		// started executing.
+		if cu == nil {
+			return false
+		}
+		cu.mu.Lock()
+		bound := !cu.state.Terminal() && cu.pilot == p
+		scheduled := cu.state == UnitScheduled
+		cu.mu.Unlock()
+		if !bound {
+			return false
+		}
+		p.mu.Lock()
+		if p.state != PilotRunning {
+			p.mu.Unlock()
+			return false
+		}
+		if _, ok := p.running[cu]; ok {
+			p.mu.Unlock()
+			return false
+		}
+		for _, q := range p.workQ {
+			if q == cu {
+				p.mu.Unlock()
+				return false
+			}
+		}
+		p.running[cu] = struct{}{}
+		p.freeCores -= cu.desc.Cores
+		if scheduled {
+			p.workQ = append(p.workQ, cu)
+		}
+		p.mu.Unlock()
+		if scheduled {
+			p.workN.Set()
+		}
+		return true
+	}
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice in place.
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func (u *ComputeUnit) isCancelled() bool {

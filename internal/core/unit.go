@@ -117,7 +117,15 @@ type UnitDescription struct {
 	OutputData []string
 	// AffinitySite is an optional placement preference.
 	AffinitySite infra.Site
-	// MaxRetries bounds automatic resubmission after pilot failure.
+	// MaxRetries is the unit's shared failure budget: the number of times
+	// the control plane will re-dispatch it after a pilot-caused failure,
+	// so a unit is dispatched at most MaxRetries+1 times in total
+	// (MaxRetries=0 → exactly one attempt, =2 → at most three). The
+	// budget is charged for every pilot-caused failure — a pilot lost
+	// mid-execution and a pilot that dies before the unit is picked up
+	// both consume one retry. Each retry re-enters the queue after an
+	// exponential backoff with deterministic jitter (plan.Backoff). Task
+	// body errors are never retried.
 	MaxRetries int
 }
 

@@ -25,6 +25,10 @@ const (
 	// extraBackend registers a whole additional HPC machine ("frontera")
 	// and submits a pilot to it after the base pilots.
 	extraBackend
+	// extraRetryUnit adds a short-walltime local pilot and, after the base
+	// units, an oversized unit that loses that pilot mid-execution and
+	// retries — exercising the planner's "retry"/<ordinal> jitter subtree.
+	extraRetryUnit
 )
 
 // spineObservation records every pre-existing component's observable draw
@@ -63,7 +67,19 @@ func runSpineWorkload(t *testing.T, v spineVariant) spineObservation {
 
 	// The added component comes after the pre-existing ones, mirroring an
 	// experimenter extending a testbed.
+	var doomed *core.Pilot
 	switch v {
+	case extraRetryUnit:
+		// A 64-core local pilot that dies 20s in: the oversized unit added
+		// below fits nowhere else, rides it, and is requeued with a seeded
+		// backoff when the walltime hits.
+		p, err := mgr.SubmitPilot(core.PilotDescription{
+			Name: "doomed", Resource: "local://localhost", Cores: 64, Walltime: 20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doomed = p
 	case extraPilot:
 		if _, err := mgr.SubmitPilot(core.PilotDescription{
 			Name: "extra", Resource: "cloud://ec2", Cores: 16, Walltime: 4 * time.Hour,
@@ -110,9 +126,42 @@ func runSpineWorkload(t *testing.T, v spineVariant) spineObservation {
 		}
 		units = append(units, u)
 	}
+	// The retrying unit comes after every base unit, so the base units'
+	// ordinals — and with them their streams — are untouched.
+	var retrier *core.ComputeUnit
+	if v == extraRetryUnit {
+		u, err := mgr.SubmitUnit(core.UnitDescription{
+			Name: "retrier", Cores: 64, MaxRetries: 2,
+			Run: func(ctx context.Context, tc core.TaskContext) error {
+				if !tc.Sleep(ctx, time.Hour) {
+					return ctx.Err()
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		retrier = u
+	}
 	for _, u := range units {
 		if s, err := u.Wait(ctx); s != core.UnitDone {
 			t.Fatalf("unit %s: %v (%v)", u.ID(), s, err)
+		}
+	}
+	if v == extraRetryUnit {
+		// Make sure the retry actually fired — one budget charge, one
+		// jitter draw — before sampling the base components.
+		if s, err := doomed.Wait(ctx); !s.Terminal() {
+			t.Fatalf("doomed pilot: %v (%v)", s, err)
+		}
+		for retrier.State() != core.UnitPending {
+			if !tb.Clock.Sleep(ctx, 100*time.Millisecond) {
+				t.Fatalf("retrier never requeued: %v", retrier.State())
+			}
+		}
+		if retrier.Attempts() < 1 {
+			t.Fatalf("retrier never executed before the pilot died")
 		}
 	}
 	// Queue-wait/match-delay observations are recorded when jobs start, so
@@ -136,11 +185,13 @@ func runSpineWorkload(t *testing.T, v spineVariant) spineObservation {
 
 // TestComponentInsensitivity is the seeding spine's headline contract:
 // adding a pilot — or registering an entire additional backend and
-// submitting a pilot to it — to a same-seed testbed leaves every
+// submitting a pilot to it, or appending a unit whose retries consume
+// planner backoff-jitter draws — to a same-seed testbed leaves every
 // pre-existing component's draw sequence bit-identical. Under the old
 // cfg.Seed+N scheme an added backend renumbered every later component's
 // seed, and under the shared eviction rng an added job shifted every
-// other job's draws.
+// other job's draws; a shared retry rng would likewise let one unit's
+// failures shift every other unit's timeline.
 func TestComponentInsensitivity(t *testing.T) {
 	base := runSpineWorkload(t, baseOnly)
 	if base.HPCAQueueWaits.N < 2 {
@@ -150,8 +201,9 @@ func TestComponentInsensitivity(t *testing.T) {
 		t.Fatalf("workload exercised only %d osg glideins; want >= 2", base.HTCMatchDelays.N)
 	}
 	for name, v := range map[string]spineObservation{
-		"extra-pilot":   runSpineWorkload(t, extraPilot),
-		"extra-backend": runSpineWorkload(t, extraBackend),
+		"extra-pilot":      runSpineWorkload(t, extraPilot),
+		"extra-backend":    runSpineWorkload(t, extraBackend),
+		"extra-retry-unit": runSpineWorkload(t, extraRetryUnit),
 	} {
 		if !reflect.DeepEqual(base.HPCAQueueWaits, v.HPCAQueueWaits) {
 			t.Errorf("%s: stampede queue-wait draws shifted:\n base %+v\n got  %+v",

@@ -139,8 +139,9 @@ type Provider struct {
 // ErrQuota is returned when the VM quota would be exceeded.
 var ErrQuota = errors.New("cloud: VM quota exceeded")
 
-// ErrClosed is returned after Shutdown.
-var ErrClosed = errors.New("cloud: provider closed")
+// ErrClosed is returned after Shutdown; it wraps infra.ErrBackendClosed
+// so heterogeneous dispatchers need only one test.
+var ErrClosed = fmt.Errorf("cloud: provider closed: %w", infra.ErrBackendClosed)
 
 // ErrUnknownType is returned for an unknown instance type name.
 var ErrUnknownType = errors.New("cloud: unknown instance type")

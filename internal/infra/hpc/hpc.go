@@ -221,8 +221,9 @@ type Cluster struct {
 	wg   *vclock.Group
 }
 
-// ErrClusterClosed is returned by Submit after Shutdown.
-var ErrClusterClosed = errors.New("hpc: cluster closed")
+// ErrClusterClosed is returned by Submit after Shutdown; it wraps
+// infra.ErrBackendClosed so heterogeneous dispatchers need only one test.
+var ErrClusterClosed = fmt.Errorf("hpc: cluster closed: %w", infra.ErrBackendClosed)
 
 // ErrTooLarge is returned when a job requests more nodes than the machine has.
 var ErrTooLarge = errors.New("hpc: job requests more nodes than cluster has")

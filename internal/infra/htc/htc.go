@@ -213,8 +213,9 @@ type Pool struct {
 	wg   *vclock.Group
 }
 
-// ErrPoolClosed is returned by Submit after Shutdown.
-var ErrPoolClosed = errors.New("htc: pool closed")
+// ErrPoolClosed is returned by Submit after Shutdown; it wraps
+// infra.ErrBackendClosed so heterogeneous dispatchers need only one test.
+var ErrPoolClosed = fmt.Errorf("htc: pool closed: %w", infra.ErrBackendClosed)
 
 // New creates an HTC pool.
 func New(cfg Config) *Pool {
@@ -378,12 +379,13 @@ func (p *Pool) attempt(j *Job) (State, error) {
 		Granted: now,
 	}
 	err := j.spec.Payload(ctx, alloc)
-	switch {
-	case evicted.Load():
+	if evicted.Load() {
 		return Evicted, nil
-	case p.ctx.Err() != nil:
+	}
+	switch infra.ClassifyOutcome(p.ctx.Err(), err) {
+	case infra.OutcomeCanceled:
 		return Canceled, p.ctx.Err()
-	case err != nil:
+	case infra.OutcomeFailed:
 		return Failed, err
 	default:
 		return Completed, nil

@@ -13,9 +13,47 @@ package infra
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 )
+
+// ErrBackendClosed is the shared sentinel wrapped by every simulated
+// backend's "closed" error (hpc.ErrClusterClosed, htc.ErrPoolClosed,
+// cloud.ErrClosed, yarn.ErrClosed, serverless.ErrClosed). Callers that
+// dispatch across heterogeneous backends test errors.Is(err,
+// infra.ErrBackendClosed) instead of enumerating per-backend sentinels.
+var ErrBackendClosed = errors.New("infra: backend closed")
+
+// Outcome classifies how a payload run ended, the unified terminal
+// taxonomy shared by the backends and the saga adaptor layer.
+type Outcome int
+
+// Payload outcomes.
+const (
+	// OutcomeCompleted: the payload returned nil with a live context.
+	OutcomeCompleted Outcome = iota
+	// OutcomeCanceled: the context was canceled (walltime, eviction,
+	// explicit cancel) — cancellation wins over any payload error.
+	OutcomeCanceled
+	// OutcomeFailed: the payload returned an error on its own.
+	OutcomeFailed
+)
+
+// ClassifyOutcome maps a payload run's (context error, payload error)
+// pair onto the unified outcome: a canceled context wins, then a payload
+// error, else completion. Every adaptor finalizes jobs through this one
+// rule, so no backend can drift its completion semantics independently.
+func ClassifyOutcome(ctxErr, payloadErr error) Outcome {
+	switch {
+	case ctxErr != nil:
+		return OutcomeCanceled
+	case payloadErr != nil:
+		return OutcomeFailed
+	default:
+		return OutcomeCompleted
+	}
+}
 
 // Site identifies a physical location of compute or storage. Data affinity
 // in Pilot-Data is expressed in terms of sites: a data unit stored at site

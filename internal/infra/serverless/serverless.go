@@ -8,7 +8,6 @@ package serverless
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -95,8 +94,9 @@ type Platform struct {
 	latencies  *metrics.Series
 }
 
-// ErrClosed is returned after Shutdown.
-var ErrClosed = errors.New("serverless: platform closed")
+// ErrClosed is returned after Shutdown; it wraps infra.ErrBackendClosed
+// so heterogeneous dispatchers need only one test.
+var ErrClosed = fmt.Errorf("serverless: platform closed: %w", infra.ErrBackendClosed)
 
 // New creates a platform.
 func New(cfg Config) *Platform {

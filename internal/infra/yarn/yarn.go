@@ -88,8 +88,9 @@ type Cluster struct {
 	waiters   []*vclock.Event
 }
 
-// ErrClosed is returned after Shutdown.
-var ErrClosed = errors.New("yarn: cluster closed")
+// ErrClosed is returned after Shutdown; it wraps infra.ErrBackendClosed
+// so heterogeneous dispatchers need only one test.
+var ErrClosed = fmt.Errorf("yarn: cluster closed: %w", infra.ErrBackendClosed)
 
 // ErrTooLarge is returned when a request exceeds cluster capacity.
 var ErrTooLarge = errors.New("yarn: request exceeds cluster capacity")

@@ -1,0 +1,91 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDetectDriftClassifiesAllThreeClasses(t *testing.T) {
+	units := []UnitStatus{
+		{ID: "u-ok", Bound: true, Started: true, Pilot: "p-live"},
+		{ID: "u-dead-pilot", Bound: true, Pilot: "p-dead"},
+		{ID: "u-ghost-pilot", Bound: true, Pilot: "p-unknown"},
+		{ID: "u-missing", Bound: true, Started: true, Pilot: "p-live"},
+		{ID: "u-done", Terminal: true},
+		{ID: "u-moved", Bound: true, Pilot: "p-live2"},
+	}
+	pilots := []PilotStatus{
+		{ID: "p-live", Running: true, Units: []string{"u-ok", "u-done", "u-moved"}},
+		{ID: "p-live2", Running: true, Units: []string{"u-moved"}},
+		{ID: "p-dead", Terminal: true},
+	}
+	got := DetectDrift(units, pilots)
+	want := []Drift{
+		{Class: DriftStateMismatch, Unit: "u-dead-pilot", Pilot: "p-dead"},
+		{Class: DriftStateMismatch, Unit: "u-ghost-pilot", Pilot: "p-unknown"},
+		{Class: DriftMissingOnAgent, Unit: "u-missing", Pilot: "p-live"},
+		{Class: DriftOrphan, Unit: "u-done", Pilot: "p-live"},
+		{Class: DriftOrphan, Unit: "u-moved", Pilot: "p-live"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DetectDrift:\n got  %v\n want %v", got, want)
+	}
+}
+
+func TestDetectDriftCleanWorldIsQuiet(t *testing.T) {
+	units := []UnitStatus{
+		{ID: "u1", Bound: true, Started: true, Pilot: "p1"},
+		{ID: "u2", Bound: true, Pilot: "p1"},
+		{ID: "u3"}, // pending, unbound
+		{ID: "u4", Terminal: true},
+	}
+	pilots := []PilotStatus{
+		{ID: "p1", Running: true, Units: []string{"u1", "u2"}},
+		{ID: "p2"}, // still pending: holds nothing, binds nothing
+	}
+	if got := DetectDrift(units, pilots); len(got) != 0 {
+		t.Fatalf("clean world reported drift: %v", got)
+	}
+}
+
+func TestDetectDriftPendingPilotIsNotMissing(t *testing.T) {
+	// A unit bound to a pilot whose agent has not come up yet is in a
+	// legitimate hand-off window, not drifted: missing-on-agent requires a
+	// Running pilot.
+	units := []UnitStatus{{ID: "u1", Bound: true, Pilot: "p1"}}
+	pilots := []PilotStatus{{ID: "p1"}}
+	if got := DetectDrift(units, pilots); len(got) != 0 {
+		t.Fatalf("hand-off window reported drift: %v", got)
+	}
+}
+
+func TestReconcilerConfirmsOnSecondSighting(t *testing.T) {
+	r := NewReconciler()
+	units := []UnitStatus{{ID: "u1", Bound: true, Started: true, Pilot: "p1"}}
+	pilots := []PilotStatus{{ID: "p1", Running: true}}
+	if got := r.Observe(units, pilots); len(got) != 0 {
+		t.Fatalf("first sighting already confirmed: %v", got)
+	}
+	got := r.Observe(units, pilots)
+	want := []Drift{{Class: DriftMissingOnAgent, Unit: "u1", Pilot: "p1"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("second sighting: got %v, want %v", got, want)
+	}
+}
+
+func TestReconcilerForgetsHealedTransients(t *testing.T) {
+	r := NewReconciler()
+	drifted := []UnitStatus{{ID: "u1", Bound: true, Started: true, Pilot: "p1"}}
+	pilots := []PilotStatus{{ID: "p1", Running: true}}
+	healed := []UnitStatus{{ID: "u1", Terminal: true}}
+
+	r.Observe(drifted, pilots) // first sighting
+	if got := r.Observe(healed, pilots); len(got) != 0 {
+		t.Fatalf("healed world confirmed drift: %v", got)
+	}
+	// The sighting memory must have been cleared: a re-appearance starts
+	// the two-scan confirmation over.
+	if got := r.Observe(drifted, pilots); len(got) != 0 {
+		t.Fatalf("stale sighting survived a clean scan: %v", got)
+	}
+}

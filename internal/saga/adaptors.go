@@ -92,26 +92,10 @@ func (s *LocalService) Submit(d Description) (Job, error) {
 		defer cancel()
 		j.markRunning(s.clock.Now())
 		if d.Walltime > 0 {
-			tctx, tcancel := context.WithCancel(ctx)
-			s.wg.Add(1)
-			vclock.Go(s.clock, func() {
-				defer s.wg.Done()
-				if s.clock.Sleep(tctx, d.Walltime) {
-					cancel()
-				}
-			})
-			defer tcancel()
+			defer armWalltime(s.clock, ctx, d.Walltime, cancel, s.wg)()
 		}
 		err := d.Payload(ctx, alloc)
-		end := s.clock.Now()
-		switch {
-		case ctx.Err() != nil:
-			j.finish(Canceled, ctx.Err(), end)
-		case err != nil:
-			j.finish(Failed, err, end)
-		default:
-			j.finish(Done, nil, end)
-		}
+		j.finishPayload(ctx.Err(), err, s.clock.Now())
 	})
 	return j, nil
 }
@@ -354,16 +338,11 @@ func (s *HTCService) Submit(d Description) (Job, error) {
 		evictErr := st.lost
 		st.mu.Unlock()
 		end := s.clock.Now()
-		switch {
-		case evictErr != nil:
+		if evictErr != nil {
 			j.finish(Failed, fmt.Errorf("saga: slot evicted mid-run: %w", evictErr), end)
-		case ctx.Err() != nil:
-			j.finish(Canceled, ctx.Err(), end)
-		case err != nil:
-			j.finish(Failed, err, end)
-		default:
-			j.finish(Done, nil, end)
+			return
 		}
+		j.finishPayload(ctx.Err(), err, end)
 	})
 	return j, nil
 }
@@ -457,24 +436,10 @@ func (s *CloudService) Submit(d Description) (Job, error) {
 		start := s.clock.Now()
 		j.markRunning(start)
 		if d.Walltime > 0 {
-			wctx, wcancel := context.WithCancel(ctx)
-			vclock.Go(s.clock, func() {
-				if s.clock.Sleep(wctx, d.Walltime) {
-					cancel()
-				}
-			})
-			defer wcancel()
+			defer armWalltime(s.clock, ctx, d.Walltime, cancel, nil)()
 		}
 		err = d.Payload(ctx, s.provider.Allocation(id, vms))
-		end := s.clock.Now()
-		switch {
-		case ctx.Err() != nil:
-			j.finish(Canceled, ctx.Err(), end)
-		case err != nil:
-			j.finish(Failed, err, end)
-		default:
-			j.finish(Done, nil, end)
-		}
+		j.finishPayload(ctx.Err(), err, s.clock.Now())
 	})
 	return j, nil
 }
@@ -557,15 +522,7 @@ func (s *YarnService) Submit(d Description) (Job, error) {
 		start := s.clock.Now()
 		j.markRunning(start)
 		err = d.Payload(ctx, s.cluster.Allocation(id, containers))
-		end := s.clock.Now()
-		switch {
-		case ctx.Err() != nil:
-			j.finish(Canceled, ctx.Err(), end)
-		case err != nil:
-			j.finish(Failed, err, end)
-		default:
-			j.finish(Done, nil, end)
-		}
+		j.finishPayload(ctx.Err(), err, s.clock.Now())
 	})
 	return j, nil
 }

@@ -205,3 +205,38 @@ func (j *baseJob) setCancel(fn func()) {
 	j.cancelFn = fn
 	j.mu.Unlock()
 }
+
+// finishPayload finalizes the job from a payload run's (context error,
+// payload error) pair through infra.ClassifyOutcome — the one completion
+// rule every adaptor shares, so no backend carries its own dispatch
+// special-casing for how runs terminate.
+func (j *baseJob) finishPayload(ctxErr, payloadErr error, t time.Time) {
+	switch infra.ClassifyOutcome(ctxErr, payloadErr) {
+	case infra.OutcomeCanceled:
+		j.finish(Canceled, ctxErr, t)
+	case infra.OutcomeFailed:
+		j.finish(Failed, payloadErr, t)
+	default:
+		j.finish(Done, nil, t)
+	}
+}
+
+// armWalltime starts a clock-aware watchdog that calls expire once
+// walltime elapses; the returned disarm func stops it early. wg, when
+// non-nil, tracks the watchdog for Close-time draining. Shared by the
+// adaptors whose backends don't enforce walltime themselves.
+func armWalltime(clock vclock.Clock, parent context.Context, walltime time.Duration, expire func(), wg *vclock.Group) (disarm func()) {
+	wctx, wcancel := context.WithCancel(parent)
+	if wg != nil {
+		wg.Add(1)
+	}
+	vclock.Go(clock, func() {
+		if wg != nil {
+			defer wg.Done()
+		}
+		if clock.Sleep(wctx, walltime) {
+			expire()
+		}
+	})
+	return wcancel
+}

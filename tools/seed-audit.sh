@@ -27,6 +27,13 @@
 #      index-ordered partition walks and the group's sorted member
 #      slices exist to avoid. Keep such state in slices (or collect keys
 #      into a sorted slice *outside* this package's hot paths).
+#   6. internal/plan is pure decision logic (DESIGN.md "Control plane"):
+#      the planner computes retry instants and dispatch decisions from
+#      arguments it is handed, and the manager does all the waiting. A
+#      time.Sleep/timer/wall-clock read in the planner would anchor a
+#      retry delay to real time instead of the virtual clock, and a
+#      vclock import would let it block while holding the manager's
+#      lock — either silently breaks bit-identical same-seed runs.
 #
 # Test files (_test.go) are exempt: tests construct fixture roots freely.
 set -u
@@ -95,6 +102,20 @@ for f in $files; do
           fail=1
         fi
       done
+      ;;
+  esac
+  # Rule 6: no blocking, timers or wall-clock reads in the planner; it
+  # receives instants as arguments and returns instants as decisions.
+  case "$f" in
+    internal/plan/*)
+      if grep -nE 'time\.(Sleep|After|AfterFunc|NewTimer|NewTicker|Tick|Now)\(' "$f" >&2; then
+        echo "seed-audit: $f sleeps on or reads the wall clock — the planner computes instants, the manager waits" >&2
+        fail=1
+      fi
+      if grep -nE '"gopilot/internal/vclock"' "$f" >&2; then
+        echo "seed-audit: $f imports vclock — the planner never owns a clock; pass instants in as arguments" >&2
+        fail=1
+      fi
       ;;
   esac
   case "$f" in
