@@ -1,0 +1,238 @@
+// Package chaos is gopilot's deterministic fault-injection layer. A
+// Plan — compiled from a Config and one labeled slot on the seeding
+// spine — schedules faults at exact virtual instants: backend outages
+// and recoveries, pilot crashes, evict storms, broker partition
+// unavailability windows, delayed commits, and consumer-group worker
+// churn. An Engine replays the plan against live targets as an ordinary
+// clock participant, so the same seed produces the same faults at the
+// same modeled instants, interleaved identically with the workload.
+//
+// Everything here is seed-driven and clock-driven: the package draws
+// randomness only from labeled dist.Streams ("chaos"/<kind>/<ordinal>)
+// and waits only on the injected vclock.Clock — never math/rand, never
+// the wall clock (tools/seed-audit.sh rule 7 enforces this). That is
+// what makes a failing chaos seed a complete reproduction recipe: replay
+// it, record the schedule (vclock.RecorderState), and bisect to the
+// first divergent scheduling decision (see replay.go, cmd/chaosreplay).
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gopilot/internal/dist"
+)
+
+// Kind enumerates the fault taxonomy.
+type Kind int
+
+// Fault kinds. Windowed kinds (BackendOutage, PartitionStall,
+// CommitSkew) have a recovery instant; the rest are point faults.
+const (
+	// BackendOutage marks an infrastructure backend down for a window:
+	// submissions fail with infra.ErrBackendDown and the dispatcher's
+	// Candidates skip its pilots until recovery.
+	BackendOutage Kind = iota
+	// PilotCrash hard-kills a live pilot (Pilot.Kill): running units fail
+	// mid-execution, queued units are stranded pre-start.
+	PilotCrash
+	// EvictStorm preempts every active HTC glidein at once (Pool.Storm).
+	EvictStorm
+	// PartitionStall blacks out one broker partition for a window:
+	// consumers see no data past their offsets and park as on an empty log.
+	PartitionStall
+	// CommitSkew delays every broker commit acknowledgement by a drawn
+	// lag for a window, stretching the staleness of commit marks.
+	CommitSkew
+	// WorkerChurn removes one consumer-group worker and immediately adds
+	// a replacement — a back-to-back rebalance.
+	WorkerChurn
+
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case BackendOutage:
+		return "backend-outage"
+	case PilotCrash:
+		return "pilot-crash"
+	case EvictStorm:
+		return "evict-storm"
+	case PartitionStall:
+		return "partition-stall"
+	case CommitSkew:
+		return "commit-skew"
+	case WorkerChurn:
+		return "worker-churn"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// windowed reports whether the kind has a recovery instant.
+func (k Kind) windowed() bool {
+	return k == BackendOutage || k == PartitionStall || k == CommitSkew
+}
+
+// Fault is one scheduled fault. All instants are virtual offsets from
+// the scenario start.
+type Fault struct {
+	// Kind classifies the fault.
+	Kind Kind
+	// Ordinal is the fault's per-kind index; together with Kind it names
+	// the stream the fault was drawn from ("chaos"/<kind>/<ordinal>).
+	Ordinal int
+	// At is the injection instant.
+	At time.Duration
+	// Until is the recovery instant (windowed kinds; zero otherwise).
+	Until time.Duration
+	// Target selects the victim (backend index, live-pilot slot,
+	// partition, group member slot — reduced modulo the population by the
+	// engine at injection time).
+	Target uint64
+	// Delay is the injected commit lag (CommitSkew only).
+	Delay time.Duration
+}
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s/%d @%v target=%d", f.Kind, f.Ordinal, f.At, f.Target)
+	if f.Kind.windowed() {
+		s += fmt.Sprintf(" until=%v", f.Until)
+	}
+	if f.Kind == CommitSkew {
+		s += fmt.Sprintf(" delay=%v", f.Delay)
+	}
+	return s
+}
+
+// Config bounds a plan: how many faults of each kind, over what horizon,
+// with what window lengths.
+type Config struct {
+	// Horizon is the injection window: every fault's At falls in
+	// [0, Horizon). Default 10 minutes.
+	Horizon time.Duration
+	// Counts is the number of faults per kind; kinds absent from the map
+	// inject nothing.
+	Counts map[Kind]int
+	// WindowMin/WindowMax bound the drawn outage/stall/skew window length
+	// (defaults 15s / 90s).
+	WindowMin, WindowMax time.Duration
+	// SkewMin/SkewMax bound the drawn commit lag of CommitSkew faults
+	// (defaults 500ms / 3s).
+	SkewMin, SkewMax time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Horizon <= 0 {
+		c.Horizon = 10 * time.Minute
+	}
+	if c.WindowMin <= 0 {
+		c.WindowMin = 15 * time.Second
+	}
+	if c.WindowMax < c.WindowMin {
+		c.WindowMax = 90 * time.Second
+		if c.WindowMax < c.WindowMin {
+			c.WindowMax = c.WindowMin
+		}
+	}
+	if c.SkewMin <= 0 {
+		c.SkewMin = 500 * time.Millisecond
+	}
+	if c.SkewMax < c.SkewMin {
+		c.SkewMax = 3 * time.Second
+		if c.SkewMax < c.SkewMin {
+			c.SkewMax = c.SkewMin
+		}
+	}
+	return c
+}
+
+// Plan is a compiled fault schedule: faults sorted by (At, Kind,
+// Ordinal), ready for the Engine.
+type Plan struct {
+	// Horizon echoes the compiled Config's horizon.
+	Horizon time.Duration
+	// Faults is the full schedule, injection order.
+	Faults []Fault
+}
+
+// Compile draws a fault schedule from the stream. Each fault of kind k
+// with per-kind ordinal i draws from stream's "chaos"/<kind>/<i> child —
+// its own independent slot, so changing one kind's count never shifts
+// another kind's draws (the spine's component-insensitivity contract).
+// Per fault the draw order is fixed at four draws — At, Target, window
+// length, skew lag — with the unused draws discarded, so the schema can
+// grow without re-dealing earlier faults.
+func Compile(stream *dist.Stream, cfg Config) Plan {
+	cfg = cfg.withDefaults()
+	root := stream.Named("chaos")
+	var faults []Fault
+	for k := Kind(0); k < numKinds; k++ {
+		kindRoot := root.Named(k.String())
+		for i := 0; i < cfg.Counts[k]; i++ {
+			st := kindRoot.SplitLabel(uint64(i))
+			f := Fault{Kind: k, Ordinal: i}
+			f.At = time.Duration(st.Float64() * float64(cfg.Horizon)).Truncate(time.Millisecond)
+			f.Target = st.Uint64()
+			window := cfg.WindowMin + time.Duration(st.Float64()*float64(cfg.WindowMax-cfg.WindowMin))
+			skew := cfg.SkewMin + time.Duration(st.Float64()*float64(cfg.SkewMax-cfg.SkewMin))
+			if k.windowed() {
+				f.Until = (f.At + window).Truncate(time.Millisecond)
+			}
+			if k == CommitSkew {
+				f.Delay = skew.Truncate(time.Millisecond)
+			}
+			faults = append(faults, f)
+		}
+	}
+	sort.Slice(faults, func(a, b int) bool {
+		if faults[a].At != faults[b].At {
+			return faults[a].At < faults[b].At
+		}
+		if faults[a].Kind != faults[b].Kind {
+			return faults[a].Kind < faults[b].Kind
+		}
+		return faults[a].Ordinal < faults[b].Ordinal
+	})
+	return Plan{Horizon: cfg.Horizon, Faults: faults}
+}
+
+// Truncate returns the plan reduced to its first n faults (injection
+// order) — the bisection step: the smallest failing prefix isolates the
+// fault that first matters.
+func (p Plan) Truncate(n int) Plan {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(p.Faults) {
+		n = len(p.Faults)
+	}
+	return Plan{Horizon: p.Horizon, Faults: p.Faults[:n]}
+}
+
+// Hash folds the schedule into a 64-bit identity, used to prove two runs
+// compiled the same plan before comparing their schedules.
+func (p Plan) Hash() uint64 {
+	h := uint64(len(p.Faults))
+	mix := func(v uint64) {
+		h ^= v
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	mix(uint64(p.Horizon))
+	for _, f := range p.Faults {
+		mix(uint64(f.Kind)<<32 | uint64(uint32(f.Ordinal)))
+		mix(uint64(f.At))
+		mix(uint64(f.Until))
+		mix(f.Target)
+		mix(uint64(f.Delay))
+	}
+	return h
+}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"sort"
+
+	"gopilot/internal/vclock"
+)
+
+// This file holds the bisection helpers behind cmd/chaosreplay. Two
+// levels of bisection narrow a failing seed down:
+//
+//  1. Fault bisection (BisectFaults): rerun the scenario with plan
+//     prefixes to find the smallest number of faults that still breaks
+//     an invariant — the last fault of that prefix is the one that first
+//     matters.
+//  2. Decision bisection (FirstDivergentBlock + FirstDivergence): given
+//     two recorded schedules that were expected to match (e.g. the
+//     failing run against a baseline with the deliberate bug disabled,
+//     or against the minimal failing prefix), compare hash-chain
+//     checkpoints to find the first divergent block of decisions, then
+//     re-record that window exactly and diff entry by entry for the
+//     first divergent scheduling decision.
+
+// BisectFaults finds the smallest n in [0, total] for which fails(n)
+// reports an invariant violation, assuming failure is monotone in the
+// fault-prefix length (more faults never fix a broken run). fails is
+// invoked O(log total) times; the caller replays the scenario with
+// Plan.Truncate(n) inside it. Returns total+1 if no prefix fails.
+func BisectFaults(total int, fails func(n int) bool) int {
+	n := sort.Search(total+1, fails)
+	return n
+}
+
+// FirstDivergentBlock compares two recorded schedules checkpoint by
+// checkpoint and returns the ordinal range [from, to) of the first block
+// of decisions whose hash chains differ. ok is false when the traces
+// agree through their common checkpoints (same prefix — any difference
+// is past the shorter trace's end, or there is none).
+func FirstDivergentBlock(a, b vclock.RecorderState) (from, to uint64, ok bool) {
+	stride := a.Stride
+	if stride == 0 || b.Stride != stride {
+		return 0, 0, false
+	}
+	n := len(a.Checkpoints)
+	if len(b.Checkpoints) < n {
+		n = len(b.Checkpoints)
+	}
+	for i := 0; i < n; i++ {
+		if a.Checkpoints[i] != b.Checkpoints[i] {
+			return uint64(i) * stride, uint64(i+1) * stride, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FirstDivergence diffs two exact-capture windows (RecorderState.Window
+// of re-recorded runs over the same ordinal range) and returns the index
+// of the first differing decision, or -1 when one window is a prefix of
+// the other.
+func FirstDivergence(a, b []vclock.TraceEntry) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}

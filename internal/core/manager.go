@@ -232,6 +232,12 @@ func (m *Manager) SubmitPilot(d PilotDescription) (*Pilot, error) {
 		started:   vclock.NewEvent(m.cfg.Clock),
 		done:      vclock.NewEvent(m.cfg.Clock),
 	}
+	// A backend outage must empty the candidate set for pilots already
+	// running there, so the pilot caches its service's fault switchboard
+	// when the adaptor exposes one.
+	if fp, ok := svc.(interface{ Faults() *infra.Faults }); ok {
+		p.faults = fp.Faults()
+	}
 	m.pilots = append(m.pilots, p)
 	m.pilotByID[p.id] = p
 	m.mu.Unlock()
@@ -255,6 +261,9 @@ func (m *Manager) SubmitPilot(d PilotDescription) (*Pilot, error) {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("core: pilot submission to %s failed: %w", d.Resource, err)
 	}
+	p.mu.Lock()
+	p.job = job
+	p.mu.Unlock()
 	m.reconKick.Set()
 	m.wg.Add(1)
 	vclock.Go(m.cfg.Clock, func() {
@@ -432,6 +441,12 @@ func (m *Manager) UnitMetrics() (waiting, runtime, turnaround metrics.Summary) {
 
 func (m *Manager) wake() { m.kick.Set() }
 
+// Kick nudges the dispatch loop to run a late-binding pass now. The chaos
+// engine calls it when an injected backend outage clears: recovery alone
+// produces no dispatch-visible event, so without a kick units would wait
+// for the next unrelated wake-up.
+func (m *Manager) Kick() { m.wake() }
+
 func (m *Manager) notify(u *ComputeUnit, s UnitState) {
 	if m.cfg.OnUnitChange != nil {
 		m.cfg.OnUnitChange(u, s)
@@ -500,6 +515,7 @@ func (e *plannerExec) Bind(u plan.UnitSpec, pilotID string) {
 	cu.pilot = p
 	cu.scheduled = e.now
 	cu.mu.Unlock()
+	vclock.Mark(m.cfg.Clock, "bind "+u.ID+" -> "+pilotID, u.Ordinal)
 	m.notify(cu, UnitScheduled)
 	p.pushWork(cu)
 }
@@ -534,14 +550,16 @@ func (m *Manager) wakeAtLocked(t time.Time) {
 	})
 }
 
-// candidatesLocked returns running pilots able to host cu right now.
+// candidatesLocked returns running pilots able to host cu right now. A
+// pilot whose backend is inside an injected outage window is unreachable
+// and therefore not a candidate.
 func (m *Manager) candidatesLocked(cu *ComputeUnit) []*Pilot {
 	var out []*Pilot
 	for _, p := range m.pilots {
 		p.mu.Lock()
 		ok := p.state == PilotRunning && p.freeCores >= cu.desc.Cores
 		p.mu.Unlock()
-		if ok {
+		if ok && !p.faults.Down() {
 			out = append(out, p)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"gopilot/internal/dist"
 	"gopilot/internal/infra"
+	"gopilot/internal/saga"
 	"gopilot/internal/vclock"
 )
 
@@ -62,6 +63,13 @@ type PilotDescription struct {
 	Walltime time.Duration
 	// Attributes carries backend-specific hints (queue, vm_type, ...).
 	Attributes map[string]string
+	// UnitPickupDelay models the agent's poll interval: the modeled time
+	// between a unit arriving in the agent's work queue and the agent
+	// picking it up for execution. Zero (the default) preserves immediate
+	// pickup. A non-zero delay means a pilot that dies at the wrong moment
+	// strands queued units, exercising the FailurePreStart retry path that
+	// instantaneous pickup makes unreachable.
+	UnitPickupDelay time.Duration
 }
 
 // Pilot is a handle to a submitted pilot.
@@ -69,10 +77,12 @@ type Pilot struct {
 	id      string
 	desc    PilotDescription
 	manager *Manager
-	stream  *dist.Stream // "pilot"/<ordinal> child of the manager's stream
+	stream  *dist.Stream  // "pilot"/<ordinal> child of the manager's stream
+	faults  *infra.Faults // backend fault switchboard (immutable after submit; may be nil)
 
 	mu        sync.Mutex
 	state     PilotState
+	job       saga.Job // the placeholder job handle (set after submission)
 	site      infra.Site
 	alloc     infra.Allocation
 	freeCores int
@@ -141,6 +151,14 @@ func (p *Pilot) RunningUnits() int {
 	return len(p.running)
 }
 
+// QueuedUnits returns the number of units sitting in the agent's work
+// queue, dispatched but not yet picked up.
+func (p *Pilot) QueuedUnits() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workQ)
+}
+
 // UnitsCompleted returns the number of units this pilot has finished.
 func (p *Pilot) UnitsCompleted() int {
 	p.mu.Lock()
@@ -201,6 +219,21 @@ func (p *Pilot) Shutdown() {
 	p.workN.Set()
 }
 
+// Kill hard-crashes the pilot by canceling its placeholder job at the
+// backend. Unlike Shutdown's graceful drain, the agent loses its context
+// mid-flight: running units fail with FailureExecution and units still in
+// the work queue are stranded until drainWork routes them through
+// FailurePreStart — both charged against their retry budgets. This is the
+// chaos engine's pilot-crash fault.
+func (p *Pilot) Kill() {
+	p.mu.Lock()
+	job := p.job
+	p.mu.Unlock()
+	if job != nil {
+		job.Cancel()
+	}
+}
+
 // pushWork queues a unit for the agent (called by the dispatcher; the
 // unit's cores are already reserved, so the queue never overfills).
 func (p *Pilot) pushWork(cu *ComputeUnit) {
@@ -208,6 +241,13 @@ func (p *Pilot) pushWork(cu *ComputeUnit) {
 	p.workQ = append(p.workQ, cu)
 	p.mu.Unlock()
 	p.workN.Set()
+}
+
+// hasWork reports whether the work queue is non-empty.
+func (p *Pilot) hasWork() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workQ) > 0
 }
 
 // popWork dequeues the next unit, or nil.
@@ -246,13 +286,26 @@ func (p *Pilot) agentRun(ctx context.Context, alloc infra.Allocation) error {
 		if p.stop.Fired() {
 			return nil
 		}
-		if cu := p.popWork(); cu != nil {
-			cu := cu
-			wg.Add(1)
-			vclock.Go(clock, func() {
-				defer wg.Done()
-				p.manager.executeUnit(ctx, p, cu)
-			})
+		if p.hasWork() {
+			// The pickup delay runs while the unit still sits in the work
+			// queue, so an agent death during it strands the unit on the
+			// FailurePreStart path rather than the mid-execution one.
+			if d := p.desc.UnitPickupDelay; d > 0 {
+				if !clock.Sleep(ctx, d) {
+					return ctx.Err()
+				}
+				if p.stop.Fired() {
+					return nil
+				}
+			}
+			if cu := p.popWork(); cu != nil {
+				cu := cu
+				wg.Add(1)
+				vclock.Go(clock, func() {
+					defer wg.Done()
+					p.manager.executeUnit(ctx, p, cu)
+				})
+			}
 			continue
 		}
 		if !p.workN.Wait(ctx) {

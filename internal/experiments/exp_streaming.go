@@ -36,7 +36,7 @@ func StreamTrial(tb *Testbed, partitions, workers, frames int, handlerCost time.
 	det := lightsource.NewDetector(16, 16, 0.5, 25, 2, tb.Root.Named("detector"))
 	proc, err := streaming.StartProcessor(ctx, mgr, broker, streaming.ProcessorConfig{
 		Name: "ls", Topic: topic, Workers: workers,
-		Stream: tb.Root.Named("streaming/processor/ls"),
+		Stream:         tb.Root.Named("streaming/processor/ls"),
 		CostPerMessage: handlerCost,
 		// Decode + Reconstruct is pure CPU per frame: run each batch as a
 		// parallel compute phase so workers overlap on real cores.

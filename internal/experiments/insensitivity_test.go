@@ -7,11 +7,13 @@ import (
 	"testing"
 	"time"
 
+	"gopilot/internal/chaos"
 	"gopilot/internal/core"
 	"gopilot/internal/dist"
 	"gopilot/internal/infra/hpc"
 	"gopilot/internal/metrics"
 	"gopilot/internal/saga"
+	"gopilot/internal/vclock"
 )
 
 // spineVariant selects what is added on top of the fixed base workload.
@@ -29,6 +31,11 @@ const (
 	// units, an oversized unit that loses that pilot mid-execution and
 	// retries — exercising the planner's "retry"/<ordinal> jitter subtree.
 	extraRetryUnit
+	// extraChaosWiring attaches the full chaos apparatus at zero fault
+	// rate: a plan compiled from the root's "chaos"/... subtree (its draws
+	// must land there and nowhere else), a running engine with an empty
+	// schedule, and the vclock schedule recorder.
+	extraChaosWiring
 )
 
 // spineObservation records every pre-existing component's observable draw
@@ -69,6 +76,22 @@ func runSpineWorkload(t *testing.T, v spineVariant) spineObservation {
 	// experimenter extending a testbed.
 	var doomed *core.Pilot
 	switch v {
+	case extraChaosWiring:
+		if tb.Virtual != nil {
+			tb.Virtual.StartRecorder(vclock.RecorderConfig{})
+		}
+		// Compiling consumes the plan's draws; injecting none (Truncate(0))
+		// keeps the run fault-free while the engine still participates.
+		plan := chaos.Compile(tb.Root, DefaultChaosFaults())
+		engine := chaos.NewEngine(plan.Truncate(0), chaos.Targets{
+			Clock: tb.Clock,
+			Backends: []chaos.Backend{
+				{Name: "stampede", Faults: tb.HPCA.Faults(), OnRecover: mgr.Kick},
+				{Name: "osg", Faults: tb.HTC.Faults(), OnRecover: mgr.Kick},
+			},
+			Storm: tb.HTC.Storm,
+		})
+		tb.Go(func() { engine.Run(ctx) })
 	case extraRetryUnit:
 		// A 64-core local pilot that dies 20s in: the oversized unit added
 		// below fits nowhere else, rides it, and is requeued with a seeded
@@ -201,9 +224,10 @@ func TestComponentInsensitivity(t *testing.T) {
 		t.Fatalf("workload exercised only %d osg glideins; want >= 2", base.HTCMatchDelays.N)
 	}
 	for name, v := range map[string]spineObservation{
-		"extra-pilot":      runSpineWorkload(t, extraPilot),
-		"extra-backend":    runSpineWorkload(t, extraBackend),
-		"extra-retry-unit": runSpineWorkload(t, extraRetryUnit),
+		"extra-pilot":        runSpineWorkload(t, extraPilot),
+		"extra-backend":      runSpineWorkload(t, extraBackend),
+		"extra-retry-unit":   runSpineWorkload(t, extraRetryUnit),
+		"extra-chaos-wiring": runSpineWorkload(t, extraChaosWiring),
 	} {
 		if !reflect.DeepEqual(base.HPCAQueueWaits, v.HPCAQueueWaits) {
 			t.Errorf("%s: stampede queue-wait draws shifted:\n base %+v\n got  %+v",

@@ -124,7 +124,8 @@ func (c *Config) withDefaults() Config {
 
 // Provider is a simulated IaaS region.
 type Provider struct {
-	cfg Config
+	cfg    Config
+	faults infra.Faults
 
 	mu     sync.Mutex
 	nextID int
@@ -162,6 +163,9 @@ func (p *Provider) Site() infra.Site { return infra.Site(p.cfg.Name) }
 
 // DefaultType returns the default instance type.
 func (p *Provider) DefaultType() VMType { return p.cfg.Types[0] }
+
+// Faults returns the provider's fault switchboard (chaos engineering).
+func (p *Provider) Faults() *infra.Faults { return &p.faults }
 
 // TypeByName looks up an instance type.
 func (p *Provider) TypeByName(name string) (VMType, error) {
@@ -210,6 +214,9 @@ func (p *Provider) Provision(ctx context.Context, n int, typeName string) ([]*VM
 		if vt, err = p.TypeByName(typeName); err != nil {
 			return nil, err
 		}
+	}
+	if err := p.faults.Check(); err != nil {
+		return nil, fmt.Errorf("cloud: %s: %w", p.cfg.Name, err)
 	}
 	p.mu.Lock()
 	if p.closed {

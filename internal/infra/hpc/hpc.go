@@ -200,7 +200,8 @@ func (j *Job) Runtime() time.Duration {
 // Cluster is a simulated HPC machine. Create with New; all methods are safe
 // for concurrent use.
 type Cluster struct {
-	cfg Config
+	cfg    Config
+	faults infra.Faults
 
 	mu        sync.Mutex
 	freeNodes int
@@ -261,6 +262,9 @@ func (c *Cluster) CoresPerNode() int { return c.cfg.CoresPerNode }
 // TotalCores returns the machine size in cores.
 func (c *Cluster) TotalCores() int { return c.cfg.Nodes * c.cfg.CoresPerNode }
 
+// Faults returns the cluster's fault switchboard (chaos engineering).
+func (c *Cluster) Faults() *infra.Faults { return &c.faults }
+
 // Submit enqueues a batch job. The job becomes eligible to run after its
 // sampled exogenous queue delay and runs when FCFS/backfill order and
 // capacity allow.
@@ -270,6 +274,9 @@ func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
 	}
 	if spec.Payload == nil {
 		return nil, errors.New("hpc: job spec has nil payload")
+	}
+	if err := c.faults.Check(); err != nil {
+		return nil, fmt.Errorf("hpc: %s: %w", c.cfg.Name, err)
 	}
 	c.mu.Lock()
 	if c.closed {

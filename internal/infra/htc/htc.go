@@ -196,7 +196,8 @@ func (j *Job) TurnaroundTime() time.Duration {
 
 // Pool is a simulated HTC pool.
 type Pool struct {
-	cfg Config
+	cfg    Config
+	faults infra.Faults
 
 	slots     *vclock.Sem  // counting semaphore of execution slots
 	evictRoot *dist.Stream // parent of per-job eviction streams
@@ -204,6 +205,7 @@ type Pool struct {
 	mu     sync.Mutex
 	nextID int
 	closed bool
+	active []*stormHandle // running attempts, in start order (for Storm)
 
 	matchDelays *metrics.Series
 	evictions   int
@@ -239,6 +241,30 @@ func (p *Pool) Site() infra.Site { return infra.Site(p.cfg.Name) }
 // Slots returns the pool capacity in slots.
 func (p *Pool) Slots() int { return p.cfg.Slots }
 
+// Faults returns the pool's fault switchboard (chaos engineering).
+func (p *Pool) Faults() *infra.Faults { return &p.faults }
+
+// stormHandle exposes a running attempt's eviction controls to Storm.
+type stormHandle struct {
+	evicted *atomic.Bool
+	cancel  context.CancelFunc
+}
+
+// Storm evicts every attempt currently running on the pool, in attempt
+// start order — the chaos engine's "opportunistic owners reclaim the whole
+// pool at once" fault. Evicted attempts retry through the job's normal
+// budget. Returns the number of attempts evicted.
+func (p *Pool) Storm() int {
+	p.mu.Lock()
+	hs := append([]*stormHandle(nil), p.active...)
+	p.mu.Unlock()
+	for _, h := range hs {
+		h.evicted.Store(true)
+		h.cancel()
+	}
+	return len(hs)
+}
+
 // Evictions returns the total evictions observed.
 func (p *Pool) Evictions() int {
 	p.mu.Lock()
@@ -253,6 +279,9 @@ func (p *Pool) MatchDelayStats() metrics.Summary { return p.matchDelays.Summary(
 func (p *Pool) Submit(spec JobSpec) (*Job, error) {
 	if spec.Payload == nil {
 		return nil, errors.New("htc: job spec has nil payload")
+	}
+	if err := p.faults.Check(); err != nil {
+		return nil, fmt.Errorf("htc: %s: %w", p.cfg.Name, err)
 	}
 	p.mu.Lock()
 	if p.closed {
@@ -357,6 +386,20 @@ func (p *Pool) attempt(j *Job) (State, error) {
 	// draws come from the job's own labeled stream — two per attempt, so a
 	// retry continues the job's sequence.
 	var evicted atomic.Bool
+	h := &stormHandle{evicted: &evicted, cancel: cancel}
+	p.mu.Lock()
+	p.active = append(p.active, h)
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		for i, x := range p.active {
+			if x == h {
+				p.active = append(p.active[:i], p.active[i+1:]...)
+				break
+			}
+		}
+		p.mu.Unlock()
+	}()
 	willEvict := j.evict.Sample() == 1
 	evictFrac := 0.1 + 0.4*j.rng.Float64()
 	if willEvict && j.spec.Runtime > 0 {

@@ -80,7 +80,8 @@ func (c *Config) withDefaults() Config {
 // function name: an invocation reuses a warm container when one is idle
 // and within TTL, otherwise it pays a cold start.
 type Platform struct {
-	cfg Config
+	cfg    Config
+	faults infra.Faults
 
 	sem *vclock.Sem // account concurrency limit
 
@@ -115,6 +116,9 @@ func (p *Platform) Name() string { return p.cfg.Name }
 // Site returns the platform's site identity.
 func (p *Platform) Site() infra.Site { return infra.Site(p.cfg.Name) }
 
+// Faults returns the platform's fault switchboard (chaos engineering).
+func (p *Platform) Faults() *infra.Faults { return &p.faults }
+
 // ColdStarts returns the number of cold starts so far.
 func (p *Platform) ColdStarts() int {
 	p.mu.Lock()
@@ -136,6 +140,9 @@ func (p *Platform) LatencyStats() metrics.Summary { return p.latencies.Summary()
 // concurrency token, pays a cold or warm start, executes the payload on a
 // single-core allocation, and returns the container to the warm pool.
 func (p *Platform) Invoke(ctx context.Context, function string, fn infra.Payload) error {
+	if err := p.faults.Check(); err != nil {
+		return fmt.Errorf("serverless: %s: %w", p.cfg.Name, err)
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()

@@ -79,7 +79,8 @@ func (c *Container) Cores() int { return c.cores }
 
 // Cluster is a simulated YARN resource manager.
 type Cluster struct {
-	cfg Config
+	cfg    Config
+	faults infra.Faults
 
 	mu        sync.Mutex
 	freeCores int
@@ -111,6 +112,9 @@ func (c *Cluster) Site() infra.Site { return infra.Site(c.cfg.Name) }
 // TotalCores returns the cluster capacity.
 func (c *Cluster) TotalCores() int { return c.cfg.TotalCores }
 
+// Faults returns the cluster's fault switchboard (chaos engineering).
+func (c *Cluster) Faults() *infra.Faults { return &c.faults }
+
 // FreeCores returns the currently unallocated cores.
 func (c *Cluster) FreeCores() int {
 	c.mu.Lock()
@@ -124,6 +128,9 @@ func (c *Cluster) FreeCores() int {
 func (c *Cluster) RequestContainers(ctx context.Context, n, coresEach int) ([]*Container, error) {
 	if n <= 0 || coresEach <= 0 {
 		return nil, errors.New("yarn: container request must be positive")
+	}
+	if err := c.faults.Check(); err != nil {
+		return nil, fmt.Errorf("yarn: %s: %w", c.cfg.Name, err)
 	}
 	want := n * coresEach
 	if want > c.cfg.TotalCores {

@@ -22,9 +22,10 @@ import (
 // It is the zero-latency reference backend used in unit tests and as the
 // lower bound in overhead experiments.
 type LocalService struct {
-	name  string
-	cores int
-	clock vclock.Clock
+	name   string
+	cores  int
+	clock  vclock.Clock
+	faults infra.Faults
 
 	mu     sync.Mutex
 	nextID int
@@ -56,10 +57,17 @@ func (s *LocalService) Site() infra.Site { return infra.Site(s.name) }
 // TotalCores implements Service.
 func (s *LocalService) TotalCores() int { return s.cores }
 
+// Faults returns the service's fault switchboard (chaos engineering). The
+// local backend has no simulator underneath, so it owns its own.
+func (s *LocalService) Faults() *infra.Faults { return &s.faults }
+
 // Submit implements Service.
 func (s *LocalService) Submit(d Description) (Job, error) {
 	if d.Payload == nil {
 		return nil, errors.New("saga: description has nil payload")
+	}
+	if err := s.faults.Check(); err != nil {
+		return nil, fmt.Errorf("saga: %s: %w", s.URL(), err)
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -139,6 +147,9 @@ func (s *HPCService) TotalCores() int { return s.cluster.TotalCores() }
 
 // Cluster exposes the underlying simulator for experiment inspection.
 func (s *HPCService) Cluster() *hpc.Cluster { return s.cluster }
+
+// Faults returns the backend's fault switchboard (chaos engineering).
+func (s *HPCService) Faults() *infra.Faults { return s.cluster.Faults() }
 
 // Submit implements Service.
 func (s *HPCService) Submit(d Description) (Job, error) {
@@ -224,6 +235,9 @@ func (s *HTCService) TotalCores() int { return s.pool.Slots() }
 
 // Pool exposes the underlying simulator.
 func (s *HTCService) Pool() *htc.Pool { return s.pool }
+
+// Faults returns the backend's fault switchboard (chaos engineering).
+func (s *HTCService) Faults() *infra.Faults { return s.pool.Faults() }
 
 // Submit implements Service.
 func (s *HTCService) Submit(d Description) (Job, error) {
@@ -396,6 +410,9 @@ func (s *CloudService) TotalCores() int { return 0 }
 // Provider exposes the underlying simulator.
 func (s *CloudService) Provider() *cloud.Provider { return s.provider }
 
+// Faults returns the backend's fault switchboard (chaos engineering).
+func (s *CloudService) Faults() *infra.Faults { return s.provider.Faults() }
+
 // Submit implements Service. The attribute "vm_type" selects the instance
 // type.
 func (s *CloudService) Submit(d Description) (Job, error) {
@@ -485,6 +502,9 @@ func (s *YarnService) TotalCores() int { return s.cluster.TotalCores() }
 
 // Cluster exposes the underlying simulator.
 func (s *YarnService) Cluster() *yarn.Cluster { return s.cluster }
+
+// Faults returns the backend's fault switchboard (chaos engineering).
+func (s *YarnService) Faults() *infra.Faults { return s.cluster.Faults() }
 
 // Submit implements Service.
 func (s *YarnService) Submit(d Description) (Job, error) {

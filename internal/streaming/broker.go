@@ -67,6 +67,13 @@ type BrokerConfig struct {
 	// Zero disables backpressure (consumers that never commit, like plain
 	// Processors, then run unthrottled).
 	MaxInflightBytes int64
+	// OnCommit, if set, observes every *applied* commit: the partition's
+	// mark moved from `from` to `through`. Clamped and no-op commits are
+	// not reported. Invoked under the partition lock, so callbacks see
+	// per-partition commits in application order and must not call back
+	// into the broker. The chaos invariant checker uses this to prove
+	// consumer cursors never rewind.
+	OnCommit func(topic string, partition int, from, through int64)
 	// Clock supplies virtual time; defaults to vclock.Real.
 	Clock vclock.Clock
 }
@@ -75,10 +82,11 @@ type BrokerConfig struct {
 type Broker struct {
 	cfg BrokerConfig
 
-	mu     sync.Mutex
-	topics map[string]*topic
-	order  []*topic // creation order: deterministic iteration for Close
-	closed bool
+	mu          sync.Mutex
+	topics      map[string]*topic
+	order       []*topic // creation order: deterministic iteration for Close
+	closed      bool
+	commitDelay time.Duration // injected commit skew (chaos), zero normally
 }
 
 type topic struct {
@@ -112,6 +120,11 @@ type partition struct {
 
 	committed int64 // offsets below this are consumer-acknowledged
 	inflight  int64 // bytes in [committed, end): published, not yet committed
+
+	// down marks an injected unavailability window (chaos): while set,
+	// consumers see no data past their offsets and park as if the log were
+	// empty. Producers are unaffected — the blackout is on the fetch side.
+	down bool
 
 	waiters []*vclock.Event // consumers parked until data arrives
 	space   []*vclock.Event // producers parked until inflight drops
@@ -451,12 +464,14 @@ func (b *Broker) FetchOrWait(ctx context.Context, topicName string, parts []int,
 			j := (start + i) % len(parts)
 			part := t.partitions[parts[j]]
 			part.mu.Lock()
-			if batch := part.view(offsets[j], max, b.cfg.SegmentSize); len(batch) > 0 {
-				part.mu.Unlock()
-				if w != nil {
-					w.Fire() // mark registrations on earlier partitions dead
+			if !part.down {
+				if batch := part.view(offsets[j], max, b.cfg.SegmentSize); len(batch) > 0 {
+					part.mu.Unlock()
+					if w != nil {
+						w.Fire() // mark registrations on earlier partitions dead
+					}
+					return j, batch, nil
 				}
-				return j, batch, nil
 			}
 			if w == nil {
 				w = vclock.NewEvent(b.cfg.Clock)
@@ -505,7 +520,7 @@ func (b *Broker) WaitAny(ctx context.Context, topicName string, parts []int, off
 	for i, pi := range parts {
 		part := t.partitions[pi]
 		part.mu.Lock()
-		if part.end > offsets[i] {
+		if !part.down && part.end > offsets[i] {
 			part.mu.Unlock()
 			w.Fire()
 			return true, nil
@@ -542,6 +557,15 @@ func (b *Broker) Commit(topicName string, partitionIdx int, through int64) error
 	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
 		return fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
 	}
+	b.mu.Lock()
+	delay := b.commitDelay
+	b.mu.Unlock()
+	if delay > 0 {
+		// Injected commit skew (chaos): the acknowledgement is in flight for
+		// `delay` of modeled time before it lands. Uncancellable — a skewed
+		// commit still arrives, just late.
+		b.cfg.Clock.Sleep(context.Background(), delay)
+	}
 	part := t.partitions[partitionIdx]
 	part.mu.Lock()
 	if through > part.end {
@@ -557,10 +581,53 @@ func (b *Broker) Commit(topicName string, partitionIdx int, through int64) error
 		m := &part.segs[o/segSize].msgs[o%segSize]
 		freed += int64(len(m.Key) + len(m.Value))
 	}
+	from := part.committed
 	part.committed = through
 	part.inflight -= freed
+	if b.cfg.OnCommit != nil {
+		b.cfg.OnCommit(topicName, partitionIdx, from, through)
+	}
 	ws := part.space
 	part.space = nil
+	part.mu.Unlock()
+	for _, w := range ws {
+		w.Fire()
+	}
+	return nil
+}
+
+// SetCommitDelay injects commit skew: every subsequent Commit holds the
+// acknowledgement in flight for d of modeled time before applying it.
+// Zero restores immediate commits. The chaos engine toggles this to
+// stretch the window in which backpressure and rebalance decisions act on
+// stale commit marks.
+func (b *Broker) SetCommitDelay(d time.Duration) {
+	b.mu.Lock()
+	b.commitDelay = d
+	b.mu.Unlock()
+}
+
+// SetPartitionDown opens (down=true) or closes an injected unavailability
+// window on one partition. While down, consumers see no data past their
+// offsets and park exactly as on an empty log; producers are unaffected.
+// Clearing the window wakes parked fetchers so delivery resumes at the
+// clearing instant. The chaos engine is the intended caller.
+func (b *Broker) SetPartitionDown(topicName string, partitionIdx int, down bool) error {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	}
+	part := t.partitions[partitionIdx]
+	part.mu.Lock()
+	part.down = down
+	var ws []*vclock.Event
+	if !down {
+		ws = part.waiters
+		part.waiters = nil
+	}
 	part.mu.Unlock()
 	for _, w := range ws {
 		w.Fire()

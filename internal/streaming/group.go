@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gopilot/internal/core"
@@ -160,6 +161,19 @@ func StartGroup(ctx context.Context, mgr *core.Manager, broker *Broker, cfg Grou
 	return g, nil
 }
 
+// barrierCarryBug, when set, makes newGenerationLocked drop the
+// old.waitFor carry-forward — reintroducing a fixed defect (a worker
+// removed during generation N could still own a partition when N+1
+// activated, breaking the exactly-once handoff under back-to-back
+// rebalances). It exists solely so the chaos harness can prove its
+// invariant checkers catch the bug class; nothing outside tests and
+// cmd/chaosreplay may set it.
+var barrierCarryBug atomic.Bool
+
+// EnableBarrierCarryBug toggles the deliberate barrier-carry defect used
+// to validate the chaos invariant suite. See barrierCarryBug.
+func EnableBarrierCarryBug(on bool) { barrierCarryBug.Store(on) }
+
 // newGenerationLocked installs the next generation for the given member
 // set. Callers hold g.mu.
 func (g *Group) newGenerationLocked(members []int) *generation {
@@ -183,6 +197,9 @@ func (g *Group) newGenerationLocked(members []int) *generation {
 	// activate N+1 while that worker still owns a partition, breaking the
 	// exactly-once handoff (its late commit would also rewind g.offsets).
 	ng.waitFor = unionInts(unionInts(old.waitFor, old.members), members)
+	if barrierCarryBug.Load() {
+		ng.waitFor = unionInts(old.members, members) // the pre-fix defect
+	}
 	if len(ng.waitFor) == 0 {
 		ng.ready.Fire()
 	}
@@ -269,6 +286,18 @@ func (g *Group) Members() []int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return append([]int(nil), g.cur.members...)
+}
+
+// BarrierPending returns how many workers the current generation's
+// barrier is still waiting on; zero means the assignment is active. The
+// chaos invariant suite polls this to detect a stranded barrier.
+func (g *Group) BarrierPending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cur.ready.Fired() {
+		return 0
+	}
+	return len(g.cur.waitFor)
 }
 
 // Rebalances returns how many membership changes occurred after the

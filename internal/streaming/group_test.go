@@ -156,7 +156,7 @@ func groupJitterRun(t *testing.T, jitterSeed uint64) string {
 			// Real CPU whose wall duration varies with the run's jitter
 			// seed: completion order across workers is race-determined,
 			// the modeled schedule must not be.
-			spin := splitmix(jitterSeed ^ uint64(m.Partition)<<32 ^ uint64(m.Offset)) % 2000
+			spin := splitmix(jitterSeed^uint64(m.Partition)<<32^uint64(m.Offset)) % 2000
 			acc := uint64(1)
 			for i := uint64(0); i < spin; i++ {
 				acc = splitmix(acc)

@@ -65,6 +65,9 @@ type Virtual struct {
 	computing   int
 	computeSeq  uint64
 	computeDone []*parker
+
+	// rec, when non-nil, records every scheduling decision (trace.go).
+	rec *recorder
 }
 
 // grant is a one-shot execution-token handoff channel (buffered so the
@@ -331,6 +334,9 @@ func (c *Virtual) scheduleLocked() {
 				c.computeDone[j], c.computeDone[j-1] = c.computeDone[j-1], c.computeDone[j]
 			}
 		}
+		for _, r := range c.computeDone {
+			c.recordLocked(TraceCompute, r.seq, "")
+		}
 		c.runq = append(c.runq, c.computeDone...)
 		c.computeDone = nil
 	}
@@ -343,6 +349,7 @@ func (c *Virtual) scheduleLocked() {
 		r := c.runq[0]
 		c.runq = c.runq[1:]
 		c.hasCurrent = true
+		c.recordLocked(TraceGrant, r.seq, "")
 		r.g <- struct{}{}
 		return
 	}
@@ -362,6 +369,7 @@ func (c *Virtual) scheduleLocked() {
 		}
 		s.claimed = true
 		c.hasCurrent = true
+		c.recordLocked(TraceAdvance, s.seq, "")
 		s.g <- struct{}{}
 		return
 	}
@@ -412,6 +420,7 @@ func (c *Virtual) sweepCanceledLocked() {
 	for _, r := range due {
 		r.claimed = true
 		r.canceled = true
+		c.recordLocked(TraceCancel, r.seq, "")
 		c.runq = append(c.runq, r)
 	}
 }

@@ -34,6 +34,12 @@
 #      retry delay to real time instead of the virtual clock, and a
 #      vclock import would let it block while holding the manager's
 #      lock — either silently breaks bit-identical same-seed runs.
+#   7. internal/chaos schedules faults only in modeled time and draws
+#      only from its labeled "chaos"/... streams (DESIGN.md "Chaos &
+#      replay"): a time.Sleep/timer/wall-clock read there would anchor a
+#      fault instant to real time — the reproducing-seed contract (same
+#      seed, same fault schedule, same divergence point) dies silently.
+#      math/rand is already banned by rule 1; this rule bans the clock.
 #
 # Test files (_test.go) are exempt: tests construct fixture roots freely.
 set -u
@@ -114,6 +120,17 @@ for f in $files; do
       fi
       if grep -nE '"gopilot/internal/vclock"' "$f" >&2; then
         echo "seed-audit: $f imports vclock — the planner never owns a clock; pass instants in as arguments" >&2
+        fail=1
+      fi
+      ;;
+  esac
+  # Rule 7: the chaos engine never touches wall time — fault instants,
+  # recovery windows and commit skews live entirely on the injected
+  # (virtual) clock, so a failing seed replays bit-identically.
+  case "$f" in
+    internal/chaos/*)
+      if grep -nE 'time\.(Sleep|After|AfterFunc|NewTimer|NewTicker|Tick|Now|Since)\(' "$f" >&2; then
+        echo "seed-audit: $f sleeps on or reads the wall clock — chaos schedules faults in modeled time only" >&2
         fail=1
       fi
       ;;
