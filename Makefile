@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-compare seed-audit doc-audit chaos ci
+.PHONY: build test race vet bench bench-compare profile seed-audit doc-audit chaos ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,23 @@ bench:
 # streaming exhibits listed in allocs_per_op, also on allocs/op growth).
 bench-compare:
 	bash -o pipefail -c "$(GO) test -bench=. -benchtime=3x -benchmem -run '^$$' . | $(GO) run ./cmd/benchcompare"
+
+# Profile harness for the two long-pole exhibits: cpu+mem profile pairs
+# under profiles/ (gitignored), one pair per benchmark. Inspect with e.g.
+#   go tool pprof -top profiles/streaming_million.cpu.pprof
+# The test binary lands next to the profiles so pprof can resolve symbols
+# without rebuilding.
+PROFILE_DIR ?= profiles
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run '^$$' -bench '^BenchmarkStreaming_Million$$' -benchtime 3x -benchmem \
+		-cpuprofile $(PROFILE_DIR)/streaming_million.cpu.pprof \
+		-memprofile $(PROFILE_DIR)/streaming_million.mem.pprof \
+		-o $(PROFILE_DIR)/gopilot.test .
+	$(GO) test -run '^$$' -bench '^BenchmarkTable2_MapReduce$$' -benchtime 3x -benchmem \
+		-cpuprofile $(PROFILE_DIR)/mapreduce.cpu.pprof \
+		-memprofile $(PROFILE_DIR)/mapreduce.mem.pprof \
+		-o $(PROFILE_DIR)/gopilot.test .
 
 # Seeding-spine lint: no math/rand and no raw integer seeds outside
 # internal/dist; stream roots only where experiments are born; no clock

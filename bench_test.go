@@ -9,6 +9,8 @@
 package gopilot_test
 
 import (
+	"os"
+	"runtime"
 	"testing"
 
 	"gopilot/internal/experiments"
@@ -117,6 +119,40 @@ func BenchmarkStreaming_Million(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.MillionMessages(benchScale, 1_000_000); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreaming_TenMillion is the 10⁷-message E13 variant: ten times
+// BenchmarkStreaming_Million's traffic through the same topology, gated on
+// the per-message allocation budget (≤0.035 allocs/msg, measured via
+// runtime.MemStats across the whole run, GC included). The point is
+// asymptotic: fixed-cost allocations (brokers, worker stacks, series
+// growth) amortize to noise at 10⁷ messages, so what remains is the true
+// per-message cost of the data plane — a change that reintroduces even a
+// fractional per-message allocation fails here long before it trips the
+// per-op gate on the 10⁶ exhibit. Opt-in because one op takes ~10× the
+// Million exhibit's wall time:
+//
+//	GOPILOT_BENCH_10M=1 go test -bench 'TenMillion' -benchtime 1x -run '^$' .
+func BenchmarkStreaming_TenMillion(b *testing.B) {
+	if os.Getenv("GOPILOT_BENCH_10M") == "" {
+		b.Skip("opt-in: set GOPILOT_BENCH_10M=1 (one op ≈ 10× BenchmarkStreaming_Million)")
+	}
+	const msgs = 10_000_000
+	for i := 0; i < b.N; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := experiments.MillionMessages(benchScale, msgs); err != nil {
+			b.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		perMsg := float64(after.Mallocs-before.Mallocs) / float64(msgs)
+		b.ReportMetric(perMsg, "allocs/msg")
+		if perMsg > 0.035 {
+			b.Fatalf("allocation budget blown: %.4f allocs/msg > 0.035 (%d allocations for %d messages)",
+				perMsg, after.Mallocs-before.Mallocs, int64(msgs))
 		}
 	}
 }

@@ -32,6 +32,12 @@
 // fails CI even if it is fast enough to slip past the time gate. Allocs
 // are near-deterministic, so the relative threshold is shared with ns/op
 // but the absolute floor is its own flag (-alloc-floor, default 512/op).
+// For the message-count exhibits (BenchmarkStreaming_Million and the
+// opt-in TenMillion variant) every report line also derives ns/msg and
+// allocs/msg — the units the ROADMAP's raw-speed targets are stated in —
+// and the failure summary names each allocs-gate failure with its delta
+// percentage so the last lines of a red log identify the regression
+// without scrolling back to the FAIL lines.
 package main
 
 import (
@@ -43,6 +49,7 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -63,6 +70,25 @@ type baseline struct {
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op(?:\s+([0-9.]+)\s+B/op\s+([0-9.]+)\s+allocs/op)?`)
+
+// msgsPerOp maps the message-count exhibits to the number of messages one
+// benchmark op pushes through the data plane, so the report can derive
+// ns/msg and allocs/msg — the units the ROADMAP's raw-speed targets and
+// the zero-copy budget are stated in — next to the raw per-op figures.
+var msgsPerOp = map[string]float64{
+	"BenchmarkStreaming_Million":    1_000_000,
+	"BenchmarkStreaming_TenMillion": 10_000_000,
+}
+
+// perMsg renders " = N ns/msg"-style context for message-count exhibits,
+// or "" for everything else.
+func perMsg(name string, perOp float64, unit string) string {
+	msgs, ok := msgsPerOp[name]
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(" = %.4g %s/msg", perOp/msgs, unit)
+}
 
 func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline timings file")
@@ -154,6 +180,7 @@ func main() {
 	}
 
 	failures := 0
+	var allocFails []string
 	for name, ref := range base.NsPerOp {
 		cur, ok := got[name]
 		if !ok {
@@ -167,12 +194,12 @@ func main() {
 		deltaPct := (cur - ref) / ref * 100
 		switch {
 		case cur > ref*(1+*maxRegress/100) && cur-ref > float64(*floor):
-			fmt.Printf("benchcompare: FAIL %s regressed %+.1f%% (%.1fms -> %.1fms)\n",
-				name, deltaPct, ref/1e6, cur/1e6)
+			fmt.Printf("benchcompare: FAIL %s regressed %+.1f%% (%.1fms -> %.1fms)%s\n",
+				name, deltaPct, ref/1e6, cur/1e6, perMsg(name, cur, "ns"))
 			failures++
 		default:
-			fmt.Printf("benchcompare: ok   %s %+.1f%% (%.1fms -> %.1fms)\n",
-				name, deltaPct, ref/1e6, cur/1e6)
+			fmt.Printf("benchcompare: ok   %s %+.1f%% (%.1fms -> %.1fms)%s\n",
+				name, deltaPct, ref/1e6, cur/1e6, perMsg(name, cur, "ns"))
 		}
 	}
 	for name := range got {
@@ -186,24 +213,31 @@ func main() {
 		if !ok {
 			fmt.Printf("benchcompare: FAIL %s has a gated allocs/op but the run reported none (missing -benchmem?)\n", name)
 			failures++
+			allocFails = append(allocFails, fmt.Sprintf("%s (no allocs/op in run)", name))
 			continue
 		}
 		deltaPct := (cur - ref) / ref * 100
 		if cur > ref*(1+*maxRegress/100) && cur-ref > *allocFloor {
-			fmt.Printf("benchcompare: FAIL %s allocs regressed %+.1f%% (%.0f -> %.0f allocs/op)\n",
-				name, deltaPct, ref, cur)
+			fmt.Printf("benchcompare: FAIL %s allocs regressed %+.1f%% (%.0f -> %.0f allocs/op)%s\n",
+				name, deltaPct, ref, cur, perMsg(name, cur, "allocs"))
 			failures++
+			allocFails = append(allocFails, fmt.Sprintf("%s %+.1f%%", name, deltaPct))
 		} else {
-			fmt.Printf("benchcompare: ok   %s allocs %+.1f%% (%.0f -> %.0f allocs/op)\n",
-				name, deltaPct, ref, cur)
+			fmt.Printf("benchcompare: ok   %s allocs %+.1f%% (%.0f -> %.0f allocs/op)%s\n",
+				name, deltaPct, ref, cur, perMsg(name, cur, "allocs"))
 		}
 	}
 	if failures > 0 {
 		// Not every failure is a timing regression (missing benchmarks and
 		// absent allocs/op also count) — point the log reader at the FAIL
-		// lines rather than claiming a perf delta that may not exist.
+		// lines, and name the allocation failures with their deltas here so
+		// the summary alone says which exhibits broke the zero-copy budget
+		// and by how much.
 		fmt.Fprintf(os.Stderr, "benchcompare: %d check(s) failed (time or allocs, see FAIL lines) vs %s (recorded %s at GOMAXPROCS=%d)\n",
 			failures, *basePath, base.Recorded, base.GoMaxProcs)
+		if len(allocFails) > 0 {
+			fmt.Fprintf(os.Stderr, "benchcompare: allocs gate failures: %s\n", strings.Join(allocFails, ", "))
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("benchcompare: all %d benchmarks within %.0f%% of baseline\n", len(got), *maxRegress)

@@ -7,11 +7,12 @@
 package mapreduce
 
 import (
-	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -169,6 +170,79 @@ func Run(ctx context.Context, mgr *core.Manager, cfg Config) (*Result, error) {
 	}, nil
 }
 
+// kernelScratch is the reusable workspace of one map or reduce kernel:
+// per-reducer emit buffers, the concatenated shuffle input, and the
+// grouping value column. Pooling it makes steady-state kernels allocate
+// only their encoded outputs.
+//
+// The pooling contract (seed-audit rule 8, DESIGN.md "Hot path"): Get
+// and Put happen on the executor token — before the compute phase opens
+// and after it rejoins — never inside a Compute body. The phase owns the
+// scratch exclusively for its duration; nothing pooled may be referenced
+// after release.
+type kernelScratch struct {
+	parts [][]KeyValue // map side: per-reducer emit buffers
+	all   []KeyValue   // reduce side: concatenated shuffle input
+	vals  []string     // grouping: value column scratch
+}
+
+var kernelScratchPool = sync.Pool{New: func() any { return new(kernelScratch) }}
+
+func getScratch() *kernelScratch { return kernelScratchPool.Get().(*kernelScratch) }
+
+// release drops every string reference the scratch accumulated (pooled
+// buffers must not pin split contents in memory between jobs) and
+// returns it to the pool, keeping the slice capacities.
+func (s *kernelScratch) release() {
+	ps := s.parts[:cap(s.parts)]
+	for i := range ps {
+		p := ps[i][:cap(ps[i])]
+		clear(p)
+		ps[i] = p[:0]
+	}
+	s.parts = ps[:len(s.parts)]
+	a := s.all[:cap(s.all)]
+	clear(a)
+	s.all = a[:0]
+	v := s.vals[:cap(s.vals)]
+	clear(v)
+	s.vals = v[:0]
+	kernelScratchPool.Put(s)
+}
+
+// groupSorted stable-sorts kvs by key in place and invokes fn once per
+// distinct key, in ascending key order, with the key's values in
+// emission order (stability guarantees it) — the same key order and
+// value order the map+sorted-keys grouping produced, without building a
+// map or per-key value slices. vals is scratch with capacity for
+// len(kvs) entries; each fn call receives a capped sub-slice of it.
+func groupSorted(kvs []KeyValue, vals []string, fn func(key string, values []string) error) error {
+	slices.SortStableFunc(kvs, func(a, b KeyValue) int { return strings.Compare(a.Key, b.Key) })
+	vals = vals[:len(kvs)]
+	for i := range kvs {
+		vals[i] = kvs[i].Value
+	}
+	for lo := 0; lo < len(kvs); {
+		hi := lo + 1
+		for hi < len(kvs) && kvs[hi].Key == kvs[lo].Key {
+			hi++
+		}
+		if err := fn(kvs[lo].Key, vals[lo:hi:hi]); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// growVals ensures the scratch value column can hold n entries.
+func (s *kernelScratch) growVals(n int) []string {
+	if cap(s.vals) < n {
+		s.vals = make([]string, n)
+	}
+	return s.vals[:n]
+}
+
 // runMapTask reads a split, applies the mapper, optionally combines, and
 // writes R partition files at the task's site. The map/combine/encode
 // kernel — pure CPU over data already read — runs as a parallel compute
@@ -180,9 +254,13 @@ func runMapTask(ctx context.Context, tc core.TaskContext, cfg Config, mapIdx int
 		return fmt.Errorf("read split: %w", err)
 	}
 	encoded := make([][]byte, cfg.Reducers)
+	sc := getScratch()
+	if cap(sc.parts) < cfg.Reducers {
+		sc.parts = make([][]KeyValue, cfg.Reducers)
+	}
+	parts := sc.parts[:cfg.Reducers]
 	var kernelErr error
 	if !tc.Compute(ctx, func() {
-		parts := make([][]KeyValue, cfg.Reducers)
 		emit := func(k, v string) {
 			r := partitionOf(k, cfg.Reducers)
 			parts[r] = append(parts[r], KeyValue{k, v})
@@ -194,7 +272,7 @@ func runMapTask(ctx context.Context, tc core.TaskContext, cfg Config, mapIdx int
 		for r := range parts {
 			kvs := parts[r]
 			if cfg.Combine != nil {
-				if kvs, err = combine(ctx, cfg.Combine, kvs); err != nil {
+				if kvs, err = combine(ctx, cfg.Combine, kvs, sc); err != nil {
 					kernelErr = fmt.Errorf("combine: %w", err)
 					return
 				}
@@ -202,8 +280,12 @@ func runMapTask(ctx context.Context, tc core.TaskContext, cfg Config, mapIdx int
 			encoded[r] = Encode(kvs)
 		}
 	}) {
+		sc.parts = parts
+		sc.release() // Compute returned without running the kernel
 		return ctx.Err()
 	}
+	sc.parts = parts
+	sc.release()
 	if kernelErr != nil {
 		return kernelErr
 	}
@@ -224,43 +306,48 @@ func runMapTask(ctx context.Context, tc core.TaskContext, cfg Config, mapIdx int
 // decode/group/sort/reduce/encode kernel runs as a parallel compute phase.
 func runReduceTask(ctx context.Context, tc core.TaskContext, cfg Config, r int, inputs []string, outID string) error {
 	contents := make([][]byte, len(inputs))
+	lines := 0
 	for i, id := range inputs {
 		content, err := tc.Data.Read(ctx, id, tc.Site)
 		if err != nil {
 			return fmt.Errorf("shuffle read %s: %w", id, err)
 		}
 		contents[i] = content
+		lines += bytes.Count(content, lineSep) + 1
+	}
+	sc := getScratch()
+	if cap(sc.all) < lines {
+		sc.all = make([]KeyValue, 0, lines)
 	}
 	var encoded []byte
 	var kernelErr error
 	if !tc.Compute(ctx, func() {
-		var all []KeyValue
+		all := sc.all[:0]
 		for i, content := range contents {
-			kvs, err := Decode(content)
-			if err != nil {
+			var err error
+			if all, err = DecodeAppend(all, content); err != nil {
 				kernelErr = fmt.Errorf("decode %s: %w", inputs[i], err)
 				return
 			}
-			all = append(all, kvs...)
 		}
-		grouped := Group(all)
+		sc.all = all
 		var out []KeyValue
 		emit := func(k, v string) { out = append(out, KeyValue{k, v}) }
-		keys := make([]string, 0, len(grouped))
-		for k := range grouped {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			if err := cfg.Reduce(ctx, k, grouped[k], emit); err != nil {
-				kernelErr = fmt.Errorf("reduce key %q: %w", k, err)
-				return
+		if err := groupSorted(all, sc.growVals(len(all)), func(k string, vs []string) error {
+			if err := cfg.Reduce(ctx, k, vs, emit); err != nil {
+				return fmt.Errorf("reduce key %q: %w", k, err)
 			}
+			return nil
+		}); err != nil {
+			kernelErr = err
+			return
 		}
 		encoded = Encode(out)
 	}) {
+		sc.release() // Compute returned without running the kernel
 		return ctx.Err()
 	}
+	sc.release()
 	if kernelErr != nil {
 		return kernelErr
 	}
@@ -270,20 +357,15 @@ func runReduceTask(ctx context.Context, tc core.TaskContext, cfg Config, r int, 
 	return tc.Data.Write(ctx, outID, encoded, tc.Site)
 }
 
-// combine groups and pre-reduces a map task's local output.
-func combine(ctx context.Context, c Reducer, kvs []KeyValue) ([]KeyValue, error) {
-	grouped := Group(kvs)
-	keys := make([]string, 0, len(grouped))
-	for k := range grouped {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+// combine groups and pre-reduces a map task's local output, reusing the
+// scratch value column (the caller owns sc for the whole kernel).
+func combine(ctx context.Context, c Reducer, kvs []KeyValue, sc *kernelScratch) ([]KeyValue, error) {
 	var out []KeyValue
 	emit := func(k, v string) { out = append(out, KeyValue{k, v}) }
-	for _, k := range keys {
-		if err := c(ctx, k, grouped[k], emit); err != nil {
-			return nil, err
-		}
+	if err := groupSorted(kvs, sc.growVals(len(kvs)), func(k string, vs []string) error {
+		return c(ctx, k, vs, emit)
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -308,44 +390,72 @@ func partitionID(job string, m, r int) string {
 	return fmt.Sprintf("%s.m%d.p%d", job, m, r)
 }
 
+// lineSep is the record separator of the Encode format.
+var lineSep = []byte{'\n'}
+
 // Encode serializes pairs as quoted tab-separated lines, safe for any byte
-// content.
+// content. The output buffer is sized up front (quoting adds at least the
+// two quote characters per field), so typical pair sets encode with one
+// allocation.
 func Encode(kvs []KeyValue) []byte {
-	var b strings.Builder
-	for _, kv := range kvs {
-		b.WriteString(strconv.Quote(kv.Key))
-		b.WriteByte('\t')
-		b.WriteString(strconv.Quote(kv.Value))
-		b.WriteByte('\n')
+	size := 0
+	for i := range kvs {
+		size += len(kvs[i].Key) + len(kvs[i].Value) + 6
 	}
-	return []byte(b.String())
+	b := make([]byte, 0, size)
+	for i := range kvs {
+		b = strconv.AppendQuote(b, kvs[i].Key)
+		b = append(b, '\t')
+		b = strconv.AppendQuote(b, kvs[i].Value)
+		b = append(b, '\n')
+	}
+	return b
 }
 
 // Decode parses the Encode format.
 func Decode(content []byte) ([]KeyValue, error) {
-	var out []KeyValue
-	sc := bufio.NewScanner(strings.NewReader(string(content)))
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
+	out, err := DecodeAppend(make([]KeyValue, 0, bytes.Count(content, lineSep)+1), content)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeAppend decodes the Encode format, appending every pair onto dst
+// and returning the extended slice (dst's contents so far are kept even
+// on error). The whole payload is converted to a string once; every key
+// and value is then a substring of it — strconv.Unquote returns the
+// interior of an escape-free quoted string without copying — so decoding
+// a shuffle partition costs one allocation for the text plus slice
+// growth, not one per line. This is what removes the decode path from
+// the allocation profile of the mapreduce benchmarks.
+func DecodeAppend(dst []KeyValue, content []byte) ([]KeyValue, error) {
+	text := string(content)
+	for len(text) > 0 {
+		line := text
+		if nl := strings.IndexByte(text, '\n'); nl >= 0 {
+			line, text = text[:nl], text[nl+1:]
+		} else {
+			text = ""
+		}
 		if line == "" {
 			continue
 		}
 		tab := strings.IndexByte(line, '\t')
 		if tab < 0 {
-			return nil, fmt.Errorf("mapreduce: malformed line %q", line)
+			return dst, fmt.Errorf("mapreduce: malformed line %q", line)
 		}
 		k, err := strconv.Unquote(line[:tab])
 		if err != nil {
-			return nil, fmt.Errorf("mapreduce: bad key in %q: %w", line, err)
+			return dst, fmt.Errorf("mapreduce: bad key in %q: %w", line, err)
 		}
 		v, err := strconv.Unquote(line[tab+1:])
 		if err != nil {
-			return nil, fmt.Errorf("mapreduce: bad value in %q: %w", line, err)
+			return dst, fmt.Errorf("mapreduce: bad value in %q: %w", line, err)
 		}
-		out = append(out, KeyValue{k, v})
+		dst = append(dst, KeyValue{k, v})
 	}
-	return out, sc.Err()
+	return dst, nil
 }
 
 // Collect fetches and decodes all job outputs into one sorted slice.

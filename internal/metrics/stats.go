@@ -28,12 +28,20 @@ type Summary struct {
 // Summarize computes descriptive statistics for xs. It returns a zero
 // Summary for an empty sample.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
-		return Summary{}
-	}
-	s := Summary{N: len(xs)}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return summarizeSorted(sorted)
+}
+
+// summarizeSorted computes the summary from an already-sorted sample it
+// is allowed to read in place — the million-sample path through
+// Series.Summary sorts its private copy and lands here without a second
+// materialization.
+func summarizeSorted(sorted []float64) Summary {
+	if len(sorted) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(sorted)}
 	s.Min = sorted[0]
 	s.Max = sorted[len(sorted)-1]
 	for _, x := range sorted {

@@ -108,8 +108,22 @@ type topic struct {
 // full capacity once: appends never reallocate the backing array and
 // sealed entries are never rewritten, so a sub-slice handed to a consumer
 // remains valid and immutable while the writer keeps appending behind it.
+// cum[i] is the partition-cumulative payload byte total through msgs[i]
+// (inclusive), which makes the bytes of any committed offset range a
+// two-lookup subtraction instead of a per-message walk.
 type segment struct {
 	msgs []Message
+	cum  []int64
+}
+
+// newSegment allocates a segment with both arrays at full capacity in
+// one struct-sized allocation each; capacities are exact so neither ever
+// reallocates (the stable-backing-array invariant).
+func newSegment(segSize int) *segment {
+	return &segment{
+		msgs: make([]Message, 0, segSize),
+		cum:  make([]int64, 0, segSize),
+	}
 }
 
 type partition struct {
@@ -118,8 +132,9 @@ type partition struct {
 	end      int64     // next offset to be written
 	nextFree time.Time // modeled time the partition finishes current appends
 
-	committed int64 // offsets below this are consumer-acknowledged
-	inflight  int64 // bytes in [committed, end): published, not yet committed
+	committed  int64 // offsets below this are consumer-acknowledged
+	inflight   int64 // bytes in [committed, end): published, not yet committed
+	totalBytes int64 // cumulative payload bytes ever appended (feeds segment.cum)
 
 	// down marks an injected unavailability window (chaos): while set,
 	// consumers see no data past their offsets and park as if the log were
@@ -244,11 +259,31 @@ func (b *Broker) PublishValues(ctx context.Context, topicName string, values [][
 	return b.publish(ctx, topicName, len(values), func(i int) ([]byte, []byte) { return nil, values[i] }, nil)
 }
 
+// pubScratch is the reusable workspace of one publish call: per-message
+// partition assignment, per-partition counts and byte totals, and the
+// counting-sorted index order. Pooled so a steady-state publish allocates
+// nothing beyond the log segments themselves.
+type pubScratch struct {
+	assign []int32 // partition per message
+	order  []int32 // message indices grouped by partition, publish order kept
+	counts []int32 // messages per partition
+	fill   []int32 // counting-sort cursor, then per-partition group ends
+	bytes  []int64 // payload bytes per partition
+}
+
+var pubScratchPool = sync.Pool{New: func() any { return new(pubScratch) }}
+
 // publish is the shared producer path: assign partitions (round-robin
 // cursor under the broker lock), then per target partition wait for
 // backpressure space, append the sub-batch to the segmented log and wake
 // consumers, and finally sleep once until the slowest partition has
 // worked through its backlog.
+//
+// The batch is traversed once under the broker lock — assignment, counts
+// and byte totals in the same pass — and a counting sort over pooled
+// scratch yields each partition's indices in publish order without
+// growing per-partition slices, so the grouping stage costs one kv() call
+// per message and zero steady-state allocations.
 func (b *Broker) publish(ctx context.Context, topicName string, n int, kv func(int) ([]byte, []byte), out *[]Message) error {
 	if n == 0 {
 		return nil
@@ -259,12 +294,28 @@ func (b *Broker) publish(ctx context.Context, topicName string, n int, kv func(i
 	}
 	nparts := len(t.partitions)
 
+	sc := pubScratchPool.Get().(*pubScratch)
+	defer pubScratchPool.Put(sc)
+	if cap(sc.assign) < n {
+		sc.assign = make([]int32, n)
+		sc.order = make([]int32, n)
+	}
+	if cap(sc.counts) < nparts {
+		sc.counts = make([]int32, nparts)
+		sc.fill = make([]int32, nparts)
+		sc.bytes = make([]int64, nparts)
+	}
+	assign, order := sc.assign[:n], sc.order[:n]
+	counts, fill, bytes := sc.counts[:nparts], sc.fill[:nparts], sc.bytes[:nparts]
+	for p := range counts {
+		counts[p], bytes[p] = 0, 0
+	}
+
 	// Group the batch per target partition, in index order: consumer
 	// wake-up order below must not depend on randomized iteration.
-	perPart := make([][]int, nparts)
 	b.mu.Lock()
 	for i := 0; i < n; i++ {
-		k, _ := kv(i)
+		k, v := kv(i)
 		var p int
 		if len(k) > 0 {
 			p = partitionOf(k, nparts)
@@ -272,23 +323,38 @@ func (b *Broker) publish(ctx context.Context, topicName string, n int, kv func(i
 			p = t.rr % nparts
 			t.rr++
 		}
-		perPart[p] = append(perPart[p], i)
+		assign[i] = int32(p)
+		counts[p]++
+		bytes[p] += int64(len(k) + len(v))
 	}
 	b.mu.Unlock()
 
+	// Counting sort: scatter message indices into order, grouped by
+	// partition with publish order preserved inside each group. After the
+	// scatter, fill[p] is the end of partition p's group.
+	var sum int32
+	for p := range counts {
+		fill[p] = sum
+		sum += counts[p]
+	}
+	for i := 0; i < n; i++ {
+		p := assign[i]
+		order[fill[p]] = int32(i)
+		fill[p]++
+	}
+
 	clock := b.cfg.Clock
+	segSize := b.cfg.SegmentSize
 	var latest time.Time
+	var lo int32
 	for p := 0; p < nparts; p++ {
-		idxs := perPart[p]
+		idxs := order[lo:fill[p]]
+		lo = fill[p]
 		if len(idxs) == 0 {
 			continue
 		}
 		part := t.partitions[p]
-		var add int64
-		for _, i := range idxs {
-			k, v := kv(i)
-			add += int64(len(k) + len(v))
-		}
+		add := bytes[p]
 		// Backpressure: park (in modeled time) until the partition has
 		// room. An idle partition always admits at least one batch, so a
 		// batch larger than the whole bound cannot deadlock.
@@ -330,14 +396,13 @@ func (b *Broker) publish(ctx context.Context, topicName string, n int, kv func(i
 			latest = finish
 		}
 		for _, i := range idxs {
-			k, v := kv(i)
-			m := Message{Topic: t.name, Partition: p, Offset: part.end, Key: k, Value: v, Published: now}
-			part.append(m, b.cfg.SegmentSize)
-			part.inflight += int64(len(k) + len(v))
+			k, v := kv(int(i))
+			m := part.appendInPlace(t.name, p, k, v, now, segSize)
 			if out != nil {
-				*out = append(*out, m)
+				*out = append(*out, *m)
 			}
 		}
+		part.inflight += add
 		waiters := part.waiters
 		part.waiters = nil
 		part.mu.Unlock()
@@ -356,21 +421,46 @@ func (b *Broker) publish(ctx context.Context, topicName string, n int, kv func(i
 	return nil
 }
 
-// append places m at the tail of the segmented log. Segments are
-// allocated at full SegmentSize capacity, so the backing array of a
-// segment never moves and entries below the published length are
-// immutable — the invariants behind zero-copy fetch views.
-func (p *partition) append(m Message, segSize int) {
+// appendInPlace claims the next tail-segment slot and builds the message
+// directly in it — no intermediate Message values, so the hot publish
+// loop copies each field exactly once. Segments are allocated at full
+// SegmentSize capacity, so the backing array of a segment never moves and
+// entries below the published length are immutable — the invariants
+// behind zero-copy fetch views. The partition-cumulative byte total is
+// recorded alongside the slot for O(1) commit accounting. Caller holds
+// p.mu; the returned pointer is only valid until the lock is released.
+func (p *partition) appendInPlace(topic string, pi int, key, value []byte, published time.Time, segSize int) *Message {
 	var seg *segment
 	if len(p.segs) > 0 {
 		seg = p.segs[len(p.segs)-1]
 	}
 	if seg == nil || len(seg.msgs) == segSize {
-		seg = &segment{msgs: make([]Message, 0, segSize)}
+		seg = newSegment(segSize)
 		p.segs = append(p.segs, seg)
 	}
-	seg.msgs = append(seg.msgs, m)
+	seg.msgs = seg.msgs[:len(seg.msgs)+1]
+	m := &seg.msgs[len(seg.msgs)-1]
+	m.Topic = topic
+	m.Partition = pi
+	m.Offset = p.end
+	m.Key = key
+	m.Value = value
+	m.Published = published
 	p.end++
+	p.totalBytes += int64(len(key) + len(value))
+	seg.cum = append(seg.cum, p.totalBytes)
+	return m
+}
+
+// bytesThrough returns the cumulative payload bytes of offsets [0, o):
+// two segment lookups, independent of how many messages the range spans.
+// Caller holds p.mu.
+func (p *partition) bytesThrough(o, segSize int64) int64 {
+	if o <= 0 {
+		return 0
+	}
+	i := o - 1
+	return p.segs[i/segSize].cum[i%segSize]
 }
 
 // view returns up to max messages starting at offset as a read-only
@@ -576,19 +666,24 @@ func (b *Broker) Commit(topicName string, partitionIdx int, through int64) error
 		return nil
 	}
 	segSize := int64(b.cfg.SegmentSize)
-	var freed int64
-	for o := part.committed; o < through; o++ {
-		m := &part.segs[o/segSize].msgs[o%segSize]
-		freed += int64(len(m.Key) + len(m.Value))
-	}
+	freed := part.bytesThrough(through, segSize) - part.bytesThrough(part.committed, segSize)
 	from := part.committed
 	part.committed = through
 	part.inflight -= freed
 	if b.cfg.OnCommit != nil {
 		b.cfg.OnCommit(topicName, partitionIdx, from, through)
 	}
-	ws := part.space
-	part.space = nil
+	// Coalesced space wakes: a parked producer needs inflight+add ≤ the
+	// bound (or an idle partition), so while inflight still sits at or
+	// above the bound every wake would be spurious — the producer would
+	// re-check, re-register and park again, one scheduler round trip per
+	// waiter per commit. Leave them parked until a commit makes progress
+	// possible; they re-evaluate their own batch size on wake.
+	var ws []*vclock.Event
+	if part.inflight == 0 || part.inflight < b.cfg.MaxInflightBytes {
+		ws = part.space
+		part.space = nil
+	}
 	part.mu.Unlock()
 	for _, w := range ws {
 		w.Fire()

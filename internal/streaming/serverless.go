@@ -126,7 +126,7 @@ func (p *ServerlessProcessor) dispatch(ctx context.Context, part int, jitter dis
 		err = p.platform.Invoke(ctx, p.cfg.Function, func(ictx context.Context, _ infra.Allocation) error {
 			return chargeAndRun(ictx, clock, batch, p.cfg.CostPerMessage, jitter,
 				p.cfg.PureHandler, "serverless handler at",
-				func(hctx context.Context, m Message) error { return p.cfg.Handler(hctx, m) },
+				func(hctx context.Context, m *Message) error { return p.cfg.Handler(hctx, *m) },
 				nil)
 		})
 		if err != nil {

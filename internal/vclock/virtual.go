@@ -47,13 +47,32 @@ import (
 //     invisible to the scheduler, so signals from fellow participants must
 //     not be awaited this way (the world may advance past the signal).
 type Virtual struct {
-	mu           sync.Mutex
-	now          time.Time
-	seq          uint64
-	hasCurrent   bool
-	runq         []*parker
-	sleepers     []*parker
-	parked       []*parker
+	mu         sync.Mutex
+	now        time.Time
+	seq        uint64
+	hasCurrent bool
+
+	// runq is a head-indexed FIFO deque: pops advance runqHead instead of
+	// re-slicing, so the backing array's capacity is reused across
+	// grant/readmit cycles instead of being reallocated by every
+	// append-after-pop. Empty means runqHead == len(runq).
+	runq     []*parker
+	runqHead int
+
+	// sleepers is a binary min-heap keyed by (deadline, seq): the next
+	// sleeper to wake is peeked in O(1) and popped in O(log n), and the
+	// (deadline, Sleep-ordinal) key reproduces exactly the order the old
+	// linear scan selected (ties on deadline wake in Sleep-call order;
+	// both keys together are unique, so the order is total).
+	sleepers sleepHeap
+
+	// parked is an intrusive doubly-linked list of primitive waiters:
+	// wake unlinks in O(1) where a slice would be scanned linearly. List
+	// order is insertion order, but nothing depends on it — the
+	// cancellation sweep re-sorts due waiters by seq.
+	parkedHead, parkedTail *parker
+	parkedLen              int
+
 	blocked      int
 	participants int
 	stalls       uint64
@@ -75,7 +94,7 @@ type Virtual struct {
 type grant chan struct{}
 
 // parker is one goroutine's registration in a wait list: the run queue, the
-// sleeper list (deadline set) or the parked list (waiting on a primitive).
+// sleeper heap (deadline set) or the parked list (waiting on a primitive).
 // A parker is claimed exactly once — by its primitive's signal, by the
 // scheduler's deadline wake, or by the cancellation sweep.
 type parker struct {
@@ -85,6 +104,113 @@ type parker struct {
 	seq      uint64
 	claimed  bool
 	canceled bool
+
+	// heapIdx is this parker's position in the sleeper heap (-1 when not
+	// enrolled); the heap maintains it so the cancellation sweep can
+	// remove an arbitrary sleeper in O(log n).
+	heapIdx int
+
+	// prev/next link the scheduler's intrusive parked list; onParked
+	// distinguishes "not on the list" from "first/last element".
+	prev, next *parker
+	onParked   bool
+}
+
+// ---------------------------------------------------------------------------
+// Sleeper heap
+// ---------------------------------------------------------------------------
+
+// sleepHeap is a binary min-heap of sleepers ordered by (deadline, seq).
+// The key is unique per entry (seq is), so the pop order is a total order
+// identical to the linear minimum scan it replaced — the heap changes the
+// cost of a decision, never the decision (TestSleeperHeapMatchesLinearScan
+// proves the equivalence property over randomized operation sequences).
+type sleepHeap []*parker
+
+// sleepBefore is the scheduling order: earlier deadline first, ties broken
+// by Sleep-call order.
+func sleepBefore(a, b *parker) bool {
+	if a.deadline.Equal(b.deadline) {
+		return a.seq < b.seq
+	}
+	return a.deadline.Before(b.deadline)
+}
+
+func (h sleepHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h sleepHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !sleepBefore(h[i], h[p]) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h sleepHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && sleepBefore(h[r], h[l]) {
+			m = r
+		}
+		if !sleepBefore(h[m], h[i]) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+func (h *sleepHeap) push(r *parker) {
+	*h = append(*h, r)
+	r.heapIdx = len(*h) - 1
+	h.up(r.heapIdx)
+}
+
+// popMin removes and returns the sleeper with the smallest (deadline, seq).
+func (h *sleepHeap) popMin() *parker {
+	old := *h
+	r := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[0].heapIdx = 0
+	old[last] = nil
+	*h = old[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	r.heapIdx = -1
+	return r
+}
+
+// removeIdx removes the sleeper at heap index i (the cancellation sweep's
+// arbitrary-position removal).
+func (h *sleepHeap) removeIdx(i int) {
+	old := *h
+	last := len(old) - 1
+	r := old[i]
+	if i != last {
+		old[i] = old[last]
+		old[i].heapIdx = i
+	}
+	old[last] = nil
+	*h = old[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	r.heapIdx = -1
 }
 
 // NewVirtual creates a virtual-time executor starting at the given modeled
@@ -117,8 +243,8 @@ func (c *Virtual) Sleep(ctx context.Context, d time.Duration) bool {
 		panic("vclock: Sleep on Virtual clock from an unregistered goroutine (use Go or Adopt)")
 	}
 	c.seq++
-	r := &parker{g: make(grant, 1), ctx: ctx, deadline: c.now.Add(d), seq: c.seq}
-	c.sleepers = append(c.sleepers, r)
+	r := &parker{g: make(grant, 1), ctx: ctx, deadline: c.now.Add(d), seq: c.seq, heapIdx: -1}
+	c.sleepers.push(r)
 	c.hasCurrent = false
 	c.scheduleLocked()
 	c.mu.Unlock()
@@ -253,9 +379,45 @@ func (c *Virtual) exit() {
 func (c *Virtual) newParker(ctx context.Context) *parker {
 	c.mu.Lock()
 	c.seq++
-	r := &parker{g: make(grant, 1), ctx: ctx, seq: c.seq}
+	r := &parker{g: make(grant, 1), ctx: ctx, seq: c.seq, heapIdx: -1}
 	c.mu.Unlock()
 	return r
+}
+
+// parkedPush appends r to the tail of the intrusive parked list. Caller
+// holds c.mu.
+func (c *Virtual) parkedPush(r *parker) {
+	r.onParked = true
+	r.prev = c.parkedTail
+	r.next = nil
+	if c.parkedTail != nil {
+		c.parkedTail.next = r
+	} else {
+		c.parkedHead = r
+	}
+	c.parkedTail = r
+	c.parkedLen++
+}
+
+// parkedRemove unlinks r from the parked list in O(1); a no-op when r is
+// not on it. Caller holds c.mu.
+func (c *Virtual) parkedRemove(r *parker) {
+	if !r.onParked {
+		return
+	}
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		c.parkedHead = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		c.parkedTail = r.prev
+	}
+	r.prev, r.next = nil, nil
+	r.onParked = false
+	c.parkedLen--
 }
 
 // park releases the token on behalf of the current participant whose
@@ -270,7 +432,7 @@ func (c *Virtual) park(r *parker) {
 		// A signal from outside the scheduled world may land between the
 		// primitive registering r and this park; r is then already claimed
 		// and queued runnable, and must not enter the parked list.
-		c.parked = append(c.parked, r)
+		c.parkedPush(r)
 	}
 	c.hasCurrent = false
 	c.scheduleLocked()
@@ -287,7 +449,7 @@ func (c *Virtual) wake(r *parker) bool {
 		return false
 	}
 	r.claimed = true
-	removeParker(&c.parked, r)
+	c.parkedRemove(r)
 	c.runq = append(c.runq, r)
 	c.scheduleLocked()
 	return true
@@ -310,6 +472,21 @@ func (c *Virtual) nudge() {
 // Scheduler core
 // ---------------------------------------------------------------------------
 
+// grantNextLocked pops the run queue's head and hands it the token.
+// Caller holds c.mu and has checked the queue is non-empty.
+func (c *Virtual) grantNextLocked() {
+	r := c.runq[c.runqHead]
+	c.runq[c.runqHead] = nil
+	c.runqHead++
+	if c.runqHead == len(c.runq) {
+		c.runq = c.runq[:0]
+		c.runqHead = 0
+	}
+	c.hasCurrent = true
+	c.recordLocked(TraceGrant, r.seq, "")
+	r.g <- struct{}{}
+}
+
 // scheduleLocked hands the execution token to the next runnable
 // participant; with none runnable it readmits any completed compute phase,
 // sweeps canceled waiters, then advances modeled time to the earliest
@@ -318,7 +495,16 @@ func (c *Virtual) scheduleLocked() {
 	if c.hasCurrent {
 		return
 	}
-	if len(c.runq) == 0 && (c.computing > 0 || len(c.computeDone) > 0) {
+	if c.runqHead < len(c.runq) {
+		// Fast path: a runnable successor takes the token without the
+		// scheduler touching the sleeper heap or the parked list at all —
+		// the compute-readmit juncture and the cancellation sweep only
+		// ever happen on an empty run queue, exactly as before the heap
+		// refactor, so hoisting the grant changes no decision.
+		c.grantNextLocked()
+		return
+	}
+	if c.computing > 0 || len(c.computeDone) > 0 {
 		// An off-token compute phase is pending. Readmission may only
 		// happen here — the run queue is empty, so this juncture is reached
 		// at a schedule-determined point — and only once *every* in-flight
@@ -339,31 +525,18 @@ func (c *Virtual) scheduleLocked() {
 		}
 		c.runq = append(c.runq, c.computeDone...)
 		c.computeDone = nil
+		c.grantNextLocked()
+		return
 	}
-	if len(c.runq) == 0 {
-		// Before letting time move (or stalling), deliver pending
-		// cancellations at the current instant, in registration order.
-		c.sweepCanceledLocked()
-	}
-	if len(c.runq) > 0 {
-		r := c.runq[0]
-		c.runq = c.runq[1:]
-		c.hasCurrent = true
-		c.recordLocked(TraceGrant, r.seq, "")
-		r.g <- struct{}{}
+	// Before letting time move (or stalling), deliver pending
+	// cancellations at the current instant, in registration order.
+	c.sweepCanceledLocked()
+	if c.runqHead < len(c.runq) {
+		c.grantNextLocked()
 		return
 	}
 	if len(c.sleepers) > 0 {
-		best := 0
-		for i, s := range c.sleepers[1:] {
-			b := c.sleepers[best]
-			if s.deadline.Before(b.deadline) ||
-				(s.deadline.Equal(b.deadline) && s.seq < b.seq) {
-				best = i + 1
-			}
-		}
-		s := c.sleepers[best]
-		c.sleepers = append(c.sleepers[:best], c.sleepers[best+1:]...)
+		s := c.sleepers.popMin()
 		if s.deadline.After(c.now) {
 			c.now = s.deadline
 		}
@@ -383,32 +556,38 @@ func (c *Virtual) scheduleLocked() {
 
 // sweepCanceledLocked claims every sleeper and parked waiter whose context
 // is already canceled, making them runnable (in seq order) at the current
-// modeled time. Caller holds c.mu.
+// modeled time. The common no-cancellation case only reads: one ctx check
+// per waiter, no restructuring. Caller holds c.mu.
 func (c *Virtual) sweepCanceledLocked() {
 	var due []*parker
-	keep := c.sleepers[:0]
-	for _, r := range c.sleepers {
+	// Scan the heap's backing array directly — collection order is
+	// irrelevant because due is sorted by seq below, and removal by heap
+	// index keeps the heap invariant without a rebuild.
+	for i := 0; i < len(c.sleepers); {
+		r := c.sleepers[i]
 		switch {
 		case r.claimed:
 			// Already woken through another path; never grant twice.
+			c.sleepers.removeIdx(i)
+			// The entry swapped into i is unexamined: do not advance.
 		case r.ctx != nil && r.ctx.Err() != nil:
 			due = append(due, r)
+			c.sleepers.removeIdx(i)
 		default:
-			keep = append(keep, r)
+			i++
 		}
 	}
-	c.sleepers = keep
-	keepP := c.parked[:0]
-	for _, r := range c.parked {
+	for r := c.parkedHead; r != nil; {
+		next := r.next
 		switch {
 		case r.claimed:
+			c.parkedRemove(r)
 		case r.ctx != nil && r.ctx.Err() != nil:
 			due = append(due, r)
-		default:
-			keepP = append(keepP, r)
+			c.parkedRemove(r)
 		}
+		r = next
 	}
-	c.parked = keepP
 	if len(due) == 0 {
 		return
 	}

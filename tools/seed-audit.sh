@@ -40,6 +40,15 @@
 #      fault instant to real time — the reproducing-seed contract (same
 #      seed, same fault schedule, same divergence point) dies silently.
 #      math/rand is already banned by rule 1; this rule bans the clock.
+#   8. Compute closures never touch sync.Pool (DESIGN.md "Hot path"):
+#      pooled scratch (mapreduce's kernelScratch, streaming's pubScratch)
+#      is fetched on-token before Compute and released on-token after the
+#      rejoin — the pool's own mutex/per-P caches are scheduler-visible
+#      shared state, so a Get/Put inside a kernel would (a) race the
+#      release path that runs after rejoin and (b) make kernel cost
+#      depend on which real core ran it. Like rule 4 this would not
+#      crash; it would silently leak pooled buffers across the purity
+#      boundary — so the grep-gate lives here.
 #
 # Test files (_test.go) are exempt: tests construct fixture roots freely.
 set -u
@@ -65,26 +74,74 @@ for f in $files; do
   # Rule 4: purity inside Compute closures. Track brace depth from any
   # line that opens a `Compute(..., func(...) {` literal; until the block
   # closes, flag clock reads, modeled sleeps, stream draws and
-  # data-service calls. (vclock itself implements Compute and is skipped.)
+  # data-service calls. The close is found by a character scan so that on
+  # a `}) {` line (closure ends, if-block begins) only the text up to the
+  # closing brace counts as inside — the if-body that handles a false
+  # Compute return is on-token code and out of scope.
+  # (vclock itself implements Compute and is skipped.)
   case "$f" in
     internal/vclock/*) ;;
     *)
       impure=$(awk '
+        function scan(    i, c, cut) {
+          cut = length($0)
+          for (i = 1; i <= length($0); i++) {
+            c = substr($0, i, 1)
+            if (c == "{") depth++
+            else if (c == "}") {
+              depth--
+              if (depth <= 0) { inblock = 0; cut = i; break }
+            }
+          }
+          return substr($0, 1, cut)
+        }
         inblock {
-          if ($0 ~ /tc\.Stream|\.Now\(\)|Clock\(\)|tc\.Sleep\(|clock\.Sleep\(|\.Sample\(|tc\.Data\.|Data\(\)\./)
+          if (scan() ~ /tc\.Stream|\.Now\(\)|Clock\(\)|tc\.Sleep\(|clock\.Sleep\(|\.Sample\(|tc\.Data\.|Data\(\)\./)
             printf "%d: %s\n", FNR, $0
-          depth += gsub(/{/, "{") - gsub(/}/, "}")
-          if (depth <= 0) inblock = 0
           next
         }
         /Compute\(/ && /func\(/ {
-          depth = gsub(/{/, "{") - gsub(/}/, "}")
+          depth = 0
+          scan()
           if (depth > 0) inblock = 1
         }
       ' "$f")
       if [ -n "$impure" ]; then
         echo "seed-audit: $f uses the clock/streams/data inside a Compute closure — Compute bodies must be pure CPU:" >&2
         echo "$impure" | sed "s|^|seed-audit:   $f:|" >&2
+        fail=1
+      fi
+      # Rule 8: same block tracking, different contraband — pool traffic.
+      # Pooled scratch is acquired before Compute and released after the
+      # rejoin, both on-token; a Get/Put (or a scratch release) inside the
+      # kernel races the on-token release path.
+      pooled=$(awk '
+        function scan(    i, c, cut) {
+          cut = length($0)
+          for (i = 1; i <= length($0); i++) {
+            c = substr($0, i, 1)
+            if (c == "{") depth++
+            else if (c == "}") {
+              depth--
+              if (depth <= 0) { inblock = 0; cut = i; break }
+            }
+          }
+          return substr($0, 1, cut)
+        }
+        inblock {
+          if (scan() ~ /sync\.Pool|[Pp]ool\.(Get|Put)\(|getScratch\(|\.release\(\)/)
+            printf "%d: %s\n", FNR, $0
+          next
+        }
+        /Compute\(/ && /func\(/ {
+          depth = 0
+          scan()
+          if (depth > 0) inblock = 1
+        }
+      ' "$f")
+      if [ -n "$pooled" ]; then
+        echo "seed-audit: $f touches a sync.Pool inside a Compute closure — fetch scratch on-token before Compute, release after the rejoin:" >&2
+        echo "$pooled" | sed "s|^|seed-audit:   $f:|" >&2
         fail=1
       fi
       ;;
