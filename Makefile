@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-compare profile seed-audit doc-audit chaos ci
+.PHONY: build test race vet bench bench-compare profile seed-audit doc-audit chaos test-federation ci
 
 build:
 	$(GO) build ./...
@@ -63,5 +63,14 @@ CHAOS_SEEDS ?= 20
 CHAOS_SEED0 ?= 0
 chaos:
 	$(GO) run ./cmd/chaosreplay -fuzz $(CHAOS_SEEDS) -seed0 $(CHAOS_SEED0) -v
+
+# Federation suite under the race detector: shard placement planning,
+# cluster handoff/link-fence/retention behavior, offset-persistence
+# restarts, the retention property test, the rehomed E13 exhibit, and
+# the stale-handoff chaos acceptance test.
+test-federation:
+	$(GO) test -race -count=1 \
+		-run 'TestShardReplicas|TestRecruitShard|TestDetectShardDrift|TestCluster|TestFetchTrimmed|TestRetentionBound|TestOffsetStore|TestGroupRestart|TestRestartRedelivers|TestMillionMessages|TestChaosCatchesStaleHandoffBug' \
+		./internal/plan/ ./internal/streaming/ ./internal/experiments/
 
 ci: build vet seed-audit doc-audit test race bench-compare

@@ -4,6 +4,10 @@
 //	chaosreplay -seed 17                  # replay one seed and verify bit-identity
 //	chaosreplay -seed 17 -bisect          # minimal failing fault prefix + first divergent decision
 //	chaosreplay -bug -churn 6 -fuzz 8 ... # prove the suite catches the reintroduced barrier bug
+//	chaosreplay -handoffbug -shardloss 1 -churn 4 -fuzz 8
+//	                                      # same for the stale-handoff defect: a shard-loss
+//	                                      # promotion restores a stale checkpoint, the
+//	                                      # cursor-rewind invariant must catch it
 //
 // Every run is deterministic: a seed that fails here fails identically
 // everywhere, and the recorded vclock schedule lets two runs be compared
@@ -28,11 +32,13 @@ func main() {
 	seed := flag.Int64("seed", 0, "seed to replay (ignored with -fuzz)")
 	bisect := flag.Bool("bisect", false, "on a failing replay, bisect to the minimal fault prefix and pinpoint the first divergent decision")
 	bug := flag.Bool("bug", false, "reintroduce the barrier-carry defect (test hook) so the suite has something to catch")
+	handoffBug := flag.Bool("handoffbug", false, "reintroduce the stale-handoff defect (test hook): shard-loss promotions restore a stale offset checkpoint")
 	messages := flag.Int("messages", 0, "stream messages to produce (0 = scenario default)")
 	units := flag.Int("units", 0, "batch units to submit (0 = scenario default)")
 	cost := flag.Duration("cost", 0, "modeled per-message handling cost (0 = scenario default)")
-	churn := flag.Int("churn", 0, "override the fault mix with this many worker-churn faults only")
-	horizon := flag.Duration("horizon", 0, "fault-plan horizon (only with -churn; 0 = 3m)")
+	churn := flag.Int("churn", 0, "override the fault mix with this many worker-churn faults (plus -shardloss faults, if any)")
+	shardloss := flag.Int("shardloss", 0, "add this many shard-loss faults to the override mix")
+	horizon := flag.Duration("horizon", 0, "fault-plan horizon (only with -churn/-shardloss; 0 = 3m)")
 	verbose := flag.Bool("v", false, "print per-seed results in fuzz mode and full injection logs")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -42,15 +48,22 @@ func main() {
 
 	opts := func(s int64, maxFaults int, rec vclock.RecorderConfig) experiments.ChaosOptions {
 		o := experiments.ChaosOptions{
-			Seed: s, BarrierBug: *bug, MaxFaults: maxFaults, Recorder: rec,
+			Seed: s, BarrierBug: *bug, HandoffBug: *handoffBug, MaxFaults: maxFaults, Recorder: rec,
 			Messages: *messages, Units: *units, CostPerMessage: *cost,
 		}
-		if *churn > 0 {
+		if *churn > 0 || *shardloss > 0 {
 			h := *horizon
 			if h <= 0 {
 				h = 3 * time.Minute
 			}
-			o.Faults = chaos.Config{Horizon: h, Counts: map[chaos.Kind]int{chaos.WorkerChurn: *churn}}
+			counts := map[chaos.Kind]int{}
+			if *churn > 0 {
+				counts[chaos.WorkerChurn] = *churn
+			}
+			if *shardloss > 0 {
+				counts[chaos.ShardLoss] = *shardloss
+			}
+			o.Faults = chaos.Config{Horizon: h, Counts: counts}
 		}
 		return o
 	}
@@ -178,9 +191,9 @@ func passthroughFlags() string {
 	s := ""
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "bug", "churn", "horizon", "messages", "units", "cost":
-			if f.Name == "bug" {
-				s += " -bug"
+		case "bug", "handoffbug", "churn", "shardloss", "horizon", "messages", "units", "cost":
+			if f.Name == "bug" || f.Name == "handoffbug" {
+				s += " -" + f.Name
 			} else {
 				s += fmt.Sprintf(" -%s %v", f.Name, f.Value)
 			}

@@ -2,8 +2,9 @@
 // Plan — compiled from a Config and one labeled slot on the seeding
 // spine — schedules faults at exact virtual instants: backend outages
 // and recoveries, pilot crashes, evict storms, broker partition
-// unavailability windows, delayed commits, and consumer-group worker
-// churn. An Engine replays the plan against live targets as an ordinary
+// unavailability windows, delayed commits, consumer-group worker churn,
+// federated shard losses, and inter-shard link partitions. An Engine
+// replays the plan against live targets as an ordinary
 // clock participant, so the same seed produces the same faults at the
 // same modeled instants, interleaved identically with the workload.
 //
@@ -28,7 +29,8 @@ import (
 type Kind int
 
 // Fault kinds. Windowed kinds (BackendOutage, PartitionStall,
-// CommitSkew) have a recovery instant; the rest are point faults.
+// CommitSkew, ShardLink) have a recovery instant; the rest are point
+// faults.
 const (
 	// BackendOutage marks an infrastructure backend down for a window:
 	// submissions fail with infra.ErrBackendDown and the dispatcher's
@@ -48,6 +50,15 @@ const (
 	// WorkerChurn removes one consumer-group worker and immediately adds
 	// a replacement — a back-to-back rebalance.
 	WorkerChurn
+	// ShardLoss permanently fails one live federated broker shard: every
+	// partition it led fences, hands off to a surviving replica after the
+	// modeled election delay, and re-replicates onto a recruit in virtual
+	// time. Skipped when it would fail the last live shard.
+	ShardLoss
+	// ShardLink severs the replication link between two shards for a
+	// window: partitions whose leader needs the link to reach an in-sync
+	// follower cannot acknowledge publishes until the link heals.
+	ShardLink
 
 	numKinds
 )
@@ -67,6 +78,10 @@ func (k Kind) String() string {
 		return "commit-skew"
 	case WorkerChurn:
 		return "worker-churn"
+	case ShardLoss:
+		return "shard-loss"
+	case ShardLink:
+		return "shard-link"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -74,7 +89,7 @@ func (k Kind) String() string {
 
 // windowed reports whether the kind has a recovery instant.
 func (k Kind) windowed() bool {
-	return k == BackendOutage || k == PartitionStall || k == CommitSkew
+	return k == BackendOutage || k == PartitionStall || k == CommitSkew || k == ShardLink
 }
 
 // Fault is one scheduled fault. All instants are virtual offsets from

@@ -45,6 +45,8 @@ type Targets struct {
 	Topic  string
 	// Group is the consumer group churned by WorkerChurn.
 	Group *streaming.Group
+	// Cluster is the federated broker ShardLoss/ShardLink act on.
+	Cluster *streaming.Cluster
 }
 
 // Applied is one injection-log entry: what a fault actually hit.
@@ -253,6 +255,50 @@ func (e *Engine) timeline() ([]event, map[int]func(now time.Duration)) {
 				}
 				e.record(f, now, true, "churned worker %d -> %d", ord, repl)
 			})
+		case ShardLoss:
+			add(f.At, inj, func(now time.Duration) {
+				if e.t.Cluster == nil {
+					e.record(f, now, false, "no cluster")
+					return
+				}
+				live := e.t.Cluster.LiveShards()
+				if len(live) <= 1 {
+					e.record(f, now, false, "only %d live shard(s)", len(live))
+					return
+				}
+				id := live[int(f.Target%uint64(len(live)))]
+				if err := e.t.Cluster.FailShard(id); err != nil {
+					e.record(f, now, false, "fail shard %d: %v", id, err)
+					return
+				}
+				e.record(f, now, true, "lost shard %d (%d handoffs total)", id, e.t.Cluster.Handoffs())
+			})
+		case ShardLink:
+			if e.t.Cluster == nil || e.t.Cluster.ShardCount() < 2 {
+				add(f.At, inj, func(now time.Duration) { e.record(f, now, false, "no cluster shards to partition") })
+				continue
+			}
+			// The victim pair derives from Target at compile-known shard
+			// count, so injection and recovery name the same link.
+			n := e.t.Cluster.ShardCount()
+			a := int(f.Target % uint64(n))
+			b := (a + 1 + int((f.Target>>16)%uint64(n-1))) % n
+			add(f.At, inj, func(now time.Duration) {
+				if err := e.t.Cluster.SeverLink(a, b); err != nil {
+					e.record(f, now, false, "sever %d<->%d: %v", a, b, err)
+					return
+				}
+				e.record(f, now, true, "severed link %d<->%d", a, b)
+			})
+			undo := func(now time.Duration) {
+				if err := e.t.Cluster.HealLink(a, b); err != nil {
+					e.record(f, now, false, "heal %d<->%d: %v", a, b, err)
+					return
+				}
+				e.record(f, now, true, "healed link %d<->%d", a, b)
+			}
+			add(f.Until, rec, undo)
+			recoveries[rec] = undo
 		}
 	}
 	sort.SliceStable(events, func(a, b int) bool {

@@ -141,6 +141,27 @@ func (c *Checker) CheckBarrier(g *streaming.Group) {
 	}
 }
 
+// CheckPlacement asserts a federated cluster reconverged after shard
+// losses: once the workload quiesces, every partition must have a live
+// leader and a full replica set — full meaning min(replication target,
+// live shards), since fewer live shards than the target leaves nothing
+// to recruit — with no recruit still syncing.
+func (c *Checker) CheckPlacement(cl *streaming.Cluster) {
+	want := cl.Replication()
+	if live := len(cl.LiveShards()); want > live {
+		want = live
+	}
+	for _, p := range cl.Placement() {
+		if len(p.Replicas) < want {
+			c.Violate("shard-placement", "%s[%d] has %d of %d replicas after quiesce",
+				p.Topic, p.Partition, len(p.Replicas), want)
+		}
+		if p.Syncing {
+			c.Violate("shard-placement", "%s[%d] still re-replicating after quiesce", p.Topic, p.Partition)
+		}
+	}
+}
+
 // CheckUnits asserts retry-budget conservation: a unit is dispatched at
 // most MaxRetries+1 times, whatever mix of crashes, outages and
 // reconcile corrections it survived, and every unit has reached a

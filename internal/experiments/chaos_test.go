@@ -103,6 +103,104 @@ func TestChaosSameSeedBitIdentical(t *testing.T) {
 	}
 }
 
+// TestChaosCatchesStaleHandoffBug is the federation analogue of the
+// barrier-carry acceptance test: a shard-loss leader handoff that
+// restores the commit mark from a stale persisted checkpoint (the
+// deliberate stale-handoff defect) must (a) be caught as a cursor-rewind
+// violation under consumer churn, (b) replay bit-identically from its
+// seed, and (c) bisect to a minimal failing fault prefix that ends at
+// the shard-loss fault — the handoff decision — with the passing and
+// failing schedules diverging at an identifiable point.
+func TestChaosCatchesStaleHandoffBug(t *testing.T) {
+	requireVirtual(t)
+	shardy := chaos.Config{
+		Horizon: 3 * time.Minute,
+		Counts:  map[chaos.Kind]int{chaos.ShardLoss: 1, chaos.WorkerChurn: 4},
+	}
+	bugOpts := func(seed int64, maxFaults int) ChaosOptions {
+		return ChaosOptions{Seed: seed, Faults: shardy, HandoffBug: true,
+			Messages: 2400, Units: 4, CostPerMessage: 25 * time.Millisecond,
+			MaxFaults: maxFaults}
+	}
+	// (a) Find a seed the bug breaks: the loss must land while the group
+	// is mid-stream (commits before it, so the stale checkpoint lags;
+	// commits after it, so the rewound mark is observed) — scan a few.
+	var failing *ChaosReport
+	var seed int64
+	for s := int64(0); s < 8 && failing == nil; s++ {
+		r, err := Chaos(bugOpts(s, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Ok() {
+			failing, seed = r, s
+		}
+	}
+	if failing == nil {
+		t.Fatal("stale-handoff bug not caught on any probed seed")
+	}
+	sig := false
+	for _, v := range failing.Violations {
+		if v.Invariant == "cursor-rewind" {
+			sig = true
+		}
+	}
+	if !sig {
+		t.Fatalf("caught violations lack the cursor-rewind signature: %v", failing.Violations)
+	}
+
+	// (b) The failing seed replays bit-identically.
+	again, err := Chaos(bugOpts(seed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.StateHash != failing.StateHash || again.Schedule.Hash != failing.Schedule.Hash {
+		t.Fatalf("failing seed did not replay bit-identically: %x/%x vs %x/%x",
+			again.StateHash, again.Schedule.Hash, failing.StateHash, failing.Schedule.Hash)
+	}
+
+	// (c) Bisect to the minimal failing prefix; its last fault must be
+	// the shard loss whose handoff restored the stale checkpoint.
+	total := len(failing.Plan.Faults)
+	prefix := func(n int) int { // MaxFaults encoding: 0 = all, negative = none
+		if n == 0 {
+			return -1
+		}
+		return n
+	}
+	minimal := chaos.BisectFaults(total, func(n int) bool {
+		r, err := Chaos(bugOpts(seed, prefix(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return !r.Ok()
+	})
+	if minimal == 0 || minimal > total {
+		t.Fatalf("bisection found no failing prefix (minimal=%d of %d)", minimal, total)
+	}
+	if got := failing.Plan.Faults[minimal-1].Kind; got != chaos.ShardLoss {
+		t.Fatalf("minimal prefix ends at %v, want the shard-loss handoff decision", got)
+	}
+	pass, err := Chaos(bugOpts(seed, prefix(minimal-1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail, err := Chaos(bugOpts(seed, minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass.Ok() {
+		t.Fatalf("prefix below minimal still fails: %v", pass.Violations)
+	}
+	if from, to, ok := chaos.FirstDivergentBlock(pass.Schedule, fail.Schedule); ok {
+		if from >= to {
+			t.Fatalf("divergent block [%d,%d) is empty", from, to)
+		}
+	} else if pass.Schedule.Hash == fail.Schedule.Hash {
+		t.Fatal("passing and failing prefixes recorded identical schedules")
+	}
+}
+
 // The acceptance test of the whole chaos workflow: the deliberately
 // reintroduced barrier-carry defect must (a) be caught by the invariant
 // suite under worker churn, (b) replay bit-identically from its seed, and

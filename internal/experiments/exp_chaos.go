@@ -37,6 +37,12 @@ type ChaosOptions struct {
 	// (streaming.EnableBarrierCarryBug) so tests can prove the invariant
 	// suite catches it. Never set outside tests/cmd/chaosreplay.
 	BarrierBug bool
+	// HandoffBug enables the deliberate stale-handoff defect
+	// (streaming.EnableStaleHandoffBug): a shard-loss promotion restores
+	// the commit mark from a stale persisted checkpoint, which the
+	// cursor-rewind invariant must catch. Never set outside
+	// tests/cmd/chaosreplay.
+	HandoffBug bool
 	// MaxFaults truncates the compiled plan to its first MaxFaults faults
 	// (the bisection probe): 0 keeps the full plan, negative keeps none.
 	MaxFaults int
@@ -54,7 +60,10 @@ type ChaosOptions struct {
 }
 
 // DefaultChaosFaults is the standard fault mix: every kind represented,
-// several windowed outages, over a 4-minute horizon.
+// several windowed outages, over a 4-minute horizon. The single
+// shard-loss is deliberate: the scenario's 3-shard cluster refuses to
+// lose its last live shard, and one loss per run already exercises the
+// whole handoff/re-replication path.
 func DefaultChaosFaults() chaos.Config {
 	return chaos.Config{
 		Horizon: 4 * time.Minute,
@@ -65,6 +74,8 @@ func DefaultChaosFaults() chaos.Config {
 			chaos.PartitionStall: 2,
 			chaos.CommitSkew:     1,
 			chaos.WorkerChurn:    3,
+			chaos.ShardLoss:      1,
+			chaos.ShardLink:      1,
 		},
 	}
 }
@@ -115,6 +126,10 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 		streaming.EnableBarrierCarryBug(true)
 		defer streaming.EnableBarrierCarryBug(false)
 	}
+	if opts.HandoffBug {
+		streaming.EnableStaleHandoffBug(true)
+		defer streaming.EnableStaleHandoffBug(false)
+	}
 
 	tb := NewTestbed(TestbedConfig{Mode: ClockVirtual, QueueWaitMean: 5, Seed: opts.Seed})
 	defer tb.Close()
@@ -128,15 +143,18 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 		plan = plan.Truncate(max(opts.MaxFaults, 0))
 	}
 
-	// --- Streaming side: broker + consumer group on a local pilot. ---
+	// --- Streaming side: a 3-shard federated cluster + consumer group
+	// on a local pilot. Offsets persist to the cluster's KV, so group
+	// commits drive retention and shard handoffs find durable cursors.
 	const topic = "chaos-events"
 	const parts = 4
-	broker := streaming.NewBroker(streaming.BrokerConfig{
+	cluster := streaming.NewCluster(streaming.ClusterConfig{
+		Name: "chaos", Shards: 3, Replication: 2, HandoffDelay: 2 * time.Second,
 		AppendCost: time.Millisecond, FetchLatency: time.Millisecond,
 		OnCommit: checker.OnCommit, Clock: tb.Clock,
 	})
-	defer broker.Close()
-	if err := broker.CreateTopic(topic, parts); err != nil {
+	defer cluster.Close()
+	if err := cluster.CreateTopic(topic, parts); err != nil {
 		return nil, err
 	}
 	mgrS := tb.NewManager(nil)
@@ -145,9 +163,10 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 	}); err != nil {
 		return nil, err
 	}
-	group, err := streaming.StartGroup(ctx, mgrS, broker, streaming.GroupConfig{
+	group, err := streaming.StartGroup(ctx, mgrS, cluster, streaming.GroupConfig{
 		Name: "chaos-group", Topic: topic, Workers: 3, BatchSize: 16,
 		CostPerMessage: opts.CostPerMessage,
+		Offsets:        cluster.Offsets(),
 		Stream:         tb.Root.Named("streaming/group/chaos-group"),
 		Handler: func(_ context.Context, _ core.TaskContext, m streaming.Message) error {
 			checker.Handled(m.Partition, m.Offset)
@@ -216,7 +235,7 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 	var prodErr error
 	tb.Go(func() {
 		defer prodDone.Fire()
-		_, prodErr = streaming.ProduceBatched(ctx, broker, topic, opts.Messages, rate, []byte("event-payload"), 64)
+		_, prodErr = streaming.ProduceBatched(ctx, cluster, topic, opts.Messages, rate, []byte("event-payload"), 64)
 	})
 
 	// --- Chaos engine. ---
@@ -238,8 +257,9 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 		},
 		LivePilots: livePilots,
 		Storm:      tb.HTC.Storm,
-		Broker:     broker, Topic: topic,
-		Group: group,
+		Broker:     cluster.Store(), Topic: topic,
+		Group:   group,
+		Cluster: cluster,
 	})
 	engDone := vclock.NewEvent(tb.Clock)
 	var injected []chaos.Applied
@@ -292,6 +312,7 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 	checker.CheckPilots(mgrB.Pilots())
 	checker.CheckBarrier(group)
 	checker.CheckCompleteness(opts.Messages)
+	checker.CheckPlacement(cluster)
 
 	report := &ChaosReport{
 		Seed:       opts.Seed,
@@ -310,7 +331,7 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 			report.UnitsFail++
 		}
 	}
-	report.StateHash = chaosStateHash(report, mgrB, broker, topic, parts)
+	report.StateHash = chaosStateHash(report, mgrB, cluster, topic, parts)
 	// Snapshot the schedule at this fixed pre-teardown point so two runs
 	// compare traces of identical extent.
 	report.Schedule = tb.Virtual.RecorderState()
@@ -318,7 +339,7 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 }
 
 // chaosStateHash folds the terminal state into one comparable word.
-func chaosStateHash(r *ChaosReport, mgr *core.Manager, b *streaming.Broker, topic string, parts int) uint64 {
+func chaosStateHash(r *ChaosReport, mgr *core.Manager, c *streaming.Cluster, topic string, parts int) uint64 {
 	h := r.Plan.Hash()
 	mix := func(v uint64) {
 		h ^= v
@@ -335,9 +356,16 @@ func chaosStateHash(r *ChaosReport, mgr *core.Manager, b *streaming.Broker, topi
 		mix(uint64(u.State())<<32 | uint64(uint32(u.Attempts())))
 	}
 	for p := 0; p < parts; p++ {
-		if mark, err := b.Committed(topic, p); err == nil {
+		if mark, err := c.Committed(topic, p); err == nil {
 			mix(uint64(mark))
 		}
+		if oldest, err := c.Store().OldestOffset(topic, p); err == nil {
+			mix(uint64(oldest)) // retention floor: trims must land identically
+		}
+	}
+	mix(uint64(c.Handoffs()))
+	for _, pl := range c.Placement() {
+		mix(uint64(pl.Epoch)<<32 | uint64(uint32(pl.Leader)))
 	}
 	mix(uint64(len(r.Violations)))
 	return h

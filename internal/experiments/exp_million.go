@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"gopilot/internal/core"
@@ -11,15 +12,25 @@ import (
 	"gopilot/internal/vclock"
 )
 
-// MillionMessages is E13, the scale exhibit for the streaming data plane:
-// n messages (default 10⁶) through an 8-partition topic consumed by a
-// consumer group that starts at 4 workers, grows to 5 mid-run, and
-// shrinks back — two live rebalances — while per-partition
-// MaxInflightBytes backpressure throttles the producer to consumer
-// speed. The segmented zero-copy log and batch-amortized accounting are
-// what make the run complete in seconds of wall time on the virtual
-// clock, bit-identical per seed (BenchmarkStreaming_Million pins the
-// wall-time and allocation budget).
+// MillionMessages is E13, the scale exhibit for the streaming data
+// plane: n messages (default 10⁶) through an 8-partition topic on a
+// 3-shard federated cluster (replication 2), consumed by a consumer
+// group that starts at 4 workers, grows to 5 mid-run, and shrinks back —
+// two live rebalances — while per-partition MaxInflightBytes
+// backpressure throttles the producer to consumer speed. At the halfway
+// mark the shard leading partition 0 is failed: its partitions fence,
+// hand off to surviving replicas, and re-replicate, all in virtual time.
+// Group offsets persist to the cluster's KV, so retention continuously
+// trims the log below the committed low-watermark — resident bytes stay
+// bounded however long the stream runs.
+//
+// Three invariants are checked inline and reported in the table, cheap
+// enough to leave on under the benchmark gate: exactly-once in-order
+// delivery (per-partition expected-offset CAS in the handler), commit
+// marks that only advance and stay gapless (OnCommit), and the
+// resident-byte bound at every retention instant (OnRetention). Each is
+// bit-identical per seed (BenchmarkStreaming_Million pins the wall-time
+// and allocation budget).
 func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 	if n <= 0 {
 		n = 1_000_000
@@ -30,23 +41,64 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 	defer cancel()
 
 	const (
+		shards     = 3
 		partitions = 8
 		workers    = 4
 		payloadLen = 64
+		segSize    = 4096
+		inflight   = 256 << 10 // ≈4k in-flight messages per partition
+		pubBatch   = 4096
 	)
-	broker := streaming.NewBroker(streaming.BrokerConfig{
+	// Inline invariant state. All of it is deterministic per seed: message
+	// delivery order per partition is fixed by the virtual-time schedule,
+	// and each slot is touched only under per-partition ownership (the
+	// group barrier for the handler, the partition lock for commits), so
+	// the atomics are -race hygiene, not contended synchronization.
+	var violations atomic.Int64
+	var residentMax atomic.Int64
+	var nextOffset [partitions]int64 // expected next delivery per partition
+	var commitMark [partitions]int64 // last commit-through per partition
+	// The retention contract's bound: uncommitted in-flight bytes (capped
+	// by backpressure, or one full publish batch admitted into an idle
+	// partition), plus at most one unsealed segment of committed-but-not-
+	// yet-trimmed messages behind the low-watermark.
+	const residentBound = inflight + pubBatch*payloadLen + segSize*payloadLen
+
+	cluster := streaming.NewCluster(streaming.ClusterConfig{
+		Name: "million", Shards: shards, Replication: 2,
+		HandoffDelay: 100 * time.Millisecond,
 		// 50k msg/s per partition: the producer alone could saturate the
 		// topic at 400k msg/s, so the consumers are the bottleneck and
 		// backpressure is what paces the run.
 		AppendCost:       20 * time.Microsecond,
 		FetchLatency:     time.Millisecond,
-		SegmentSize:      4096,
-		MaxInflightBytes: 256 << 10, // ≈4k in-flight messages per partition
+		SegmentSize:      segSize,
+		MaxInflightBytes: inflight,
 		Clock:            tb.Clock,
+		OnCommit: func(_ string, p int, from, through int64) {
+			// Commit marks advance gaplessly: each applied commit starts
+			// exactly where the previous one ended. A rewound or skipped
+			// mark here is the cursor-rewind failure class.
+			if from != atomic.LoadInt64(&commitMark[p]) || through <= from {
+				violations.Add(1)
+			}
+			atomic.StoreInt64(&commitMark[p], through)
+		},
+		OnRetention: func(_ string, _ int, resident, _ int64) {
+			for {
+				cur := residentMax.Load()
+				if resident <= cur || residentMax.CompareAndSwap(cur, resident) {
+					break
+				}
+			}
+			if resident > residentBound {
+				violations.Add(1)
+			}
+		},
 	})
-	defer broker.Close()
+	defer cluster.Close()
 	const topic = "million"
-	if err := broker.CreateTopic(topic, partitions); err != nil {
+	if err := cluster.CreateTopic(topic, partitions); err != nil {
 		return nil, err
 	}
 	mgr := tb.NewManager(nil)
@@ -56,13 +108,14 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 		return nil, err
 	}
 
-	group, err := streaming.StartGroup(ctx, mgr, broker, streaming.GroupConfig{
+	group, err := streaming.StartGroup(ctx, mgr, cluster, streaming.GroupConfig{
 		Name: "mm", Topic: topic, Workers: workers, BatchSize: 2048,
 		// 100µs modeled per message: each partition drains at 10k msg/s,
 		// 5× slower than it fills, so the producer spends most of the run
 		// blocked on backpressure.
 		CostPerMessage: 100 * time.Microsecond,
 		PureHandler:    true,
+		Offsets:        cluster.Offsets(),
 		Stream:         tb.Root.Named("streaming/group/mm"),
 		Handler: func(_ context.Context, _ core.TaskContext, m streaming.Message) error {
 			var acc byte // pure CPU: fold the payload
@@ -71,6 +124,13 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 			}
 			if acc == 0xFF {
 				return fmt.Errorf("poisoned payload at offset %d", m.Offset)
+			}
+			// Exactly-once in order: this delivery must be the partition's
+			// expected next offset. The CAS never contends — the generation
+			// barrier gives each partition one owner — it exists so the
+			// check stays sound (and -race-clean) across handoffs.
+			if !atomic.CompareAndSwapInt64(&nextOffset[m.Partition], m.Offset, m.Offset+1) {
+				violations.Add(1)
 			}
 			return nil
 		},
@@ -91,7 +151,7 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 	done := vclock.NewEvent(tb.Clock)
 	tb.Go(func() {
 		defer done.Fire()
-		produceRate, produceErr = streaming.ProduceBatched(ctx, broker, topic, n, 0, payload, 4096)
+		produceRate, produceErr = streaming.ProduceBatched(ctx, cluster, topic, n, 0, payload, pubBatch)
 	})
 
 	// Two live rebalances at deterministic progress points: a fifth
@@ -101,6 +161,19 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 	}
 	joined, err := group.AddWorker()
 	if err != nil {
+		return nil, err
+	}
+	// Halfway: fail the shard leading partition 0. Its partitions fence,
+	// hand off to surviving replicas after the election delay, and
+	// re-replicate onto recruits — delivery and commits must stay exact.
+	if err := group.WaitProcessed(ctx, int64(n/2)); err != nil {
+		return nil, fmt.Errorf("drained %d/%d before shard loss: %w", group.Processed(), n, err)
+	}
+	victim, err := cluster.LeaderOf(topic, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.FailShard(victim); err != nil {
 		return nil, err
 	}
 	if err := group.WaitProcessed(ctx, int64(3*n/4)); err != nil {
@@ -120,15 +193,23 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 	}
 	group.Stop()
 
+	invariants := "ok"
+	if v := violations.Load(); v > 0 {
+		invariants = fmt.Sprintf("VIOLATED(%d)", v)
+	}
 	lat := group.LatencyStats()
 	t := metrics.NewTable(
-		fmt.Sprintf("E13 — million-message data plane (%d msgs, %d partitions, group %d→%d→%d workers)",
-			n, partitions, workers, workers+1, workers),
-		"messages", "partitions", "workers", "rebalances", "produce_rate_msg_s", "throughput_msg_s", "latency_p50_s", "latency_p95_s")
-	t.AddRow(group.Processed(), partitions, len(group.Members()), group.Rebalances(),
+		fmt.Sprintf("E13 — million-message data plane (%d msgs, %d partitions on %d shards −1 mid-run, group %d→%d→%d workers)",
+			n, partitions, shards, workers, workers+1, workers),
+		"messages", "partitions", "shards", "handoffs", "workers", "rebalances",
+		"produce_rate_msg_s", "throughput_msg_s", "latency_p50_s", "latency_p95_s",
+		"resident_max_b", "invariants")
+	t.AddRow(group.Processed(), partitions, len(cluster.LiveShards()), cluster.Handoffs(),
+		len(group.Members()), group.Rebalances(),
 		fmt.Sprintf("%.0f", produceRate),
 		fmt.Sprintf("%.0f", group.Throughput()),
 		fmt.Sprintf("%.3f", lat.Median),
-		fmt.Sprintf("%.3f", lat.P95))
+		fmt.Sprintf("%.3f", lat.P95),
+		residentMax.Load(), invariants)
 	return t, nil
 }

@@ -1,0 +1,155 @@
+package plan
+
+import "hash/fnv"
+
+// This file makes federated-broker shard placement planner-visible
+// state: where each topic partition's replicas live is a control-plane
+// decision, answered here as pure functions of (topic, partition, live
+// shard set) so the streaming Cluster stays a thin executor of planner
+// decisions — the same desired-vs-actual split the TickPlanner and
+// Reconciler give pilot dispatch. Like everything in this package the
+// functions read no clock and spawn nothing (seed-audit rule 6): same
+// inputs, same placement, on every run.
+
+// ShardReplicas returns the desired replica set for one partition of a
+// federated topic over the given live shard ring: replication shards,
+// leader first, starting at live[(fnv64(topic)+partition) mod len(live)]
+// and continuing in ring order. The topic hash spreads leaders of
+// different topics across the ring; the +partition rotation spreads one
+// topic's partitions. live must be sorted (the caller's canonical shard
+// order); replication is clamped to len(live).
+func ShardReplicas(topic string, partition int, live []int, replication int) []int {
+	if len(live) == 0 {
+		return nil
+	}
+	if replication <= 0 {
+		replication = 1
+	}
+	if replication > len(live) {
+		replication = len(live)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(topic))
+	start := int((h.Sum64() + uint64(partition)) % uint64(len(live)))
+	out := make([]int, replication)
+	for i := range out {
+		out[i] = live[(start+i)%len(live)]
+	}
+	return out
+}
+
+// RecruitShard picks the shard to host a new replica of a partition
+// whose set is current: the first live shard (ring order, starting past
+// the current leader) not already in the set. ok is false when every
+// live shard already holds a replica.
+func RecruitShard(current, live []int) (int, bool) {
+	if len(live) == 0 || len(current) == 0 {
+		return 0, false
+	}
+	// Ring origin: the leader's position in live (the leader is live by
+	// the caller's invariant; fall back to 0 if not found).
+	origin := 0
+	for i, s := range live {
+		if s == current[0] {
+			origin = i
+			break
+		}
+	}
+	for i := 1; i <= len(live); i++ {
+		cand := live[(origin+i)%len(live)]
+		taken := false
+		for _, s := range current {
+			if s == cand {
+				taken = true
+				break
+			}
+		}
+		if !taken {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// ShardDriftKind classifies one divergence between a partition's actual
+// replica set and the desired placement — the shard-placement analogue
+// of the pilot Reconciler's orphan / state-mismatch / missing-on-agent
+// taxonomy.
+type ShardDriftKind int
+
+const (
+	// ShardDriftDeadReplica: a replica sits on a shard that is no longer
+	// live; correction is to drop it from the set.
+	ShardDriftDeadReplica ShardDriftKind = iota
+	// ShardDriftNoLeader: no live replica remains — the partition is
+	// unavailable and (in this model, which has no on-disk copy to
+	// recover) its unconsumed tail is lost. The Cluster refuses the shard
+	// failure that would cause this.
+	ShardDriftNoLeader
+	// ShardDriftUnderReplicated: fewer live replicas than the replication
+	// target while spare live shards exist; correction is to recruit one
+	// (Shard names it).
+	ShardDriftUnderReplicated
+)
+
+// String implements fmt.Stringer.
+func (k ShardDriftKind) String() string {
+	switch k {
+	case ShardDriftDeadReplica:
+		return "dead-replica"
+	case ShardDriftNoLeader:
+		return "no-leader"
+	case ShardDriftUnderReplicated:
+		return "under-replicated"
+	default:
+		return "unknown-shard-drift"
+	}
+}
+
+// ShardDrift is one detected divergence plus the shard it concerns: the
+// dead replica to drop, or the recruit to add.
+type ShardDrift struct {
+	Kind  ShardDriftKind
+	Shard int
+}
+
+// DetectShardDrift compares one partition's actual replica set against
+// the live shard set and replication target, returning the ordered
+// corrections that reconverge it: dead replicas first (replica order),
+// then recruits until the target is met or live shards run out.
+// Applying the corrections in order and re-running detection yields
+// nothing — the anti-flap property the reconciler tests pin.
+func DetectShardDrift(replicas, live []int, replication int) []ShardDrift {
+	liveSet := func(s int) bool {
+		for _, l := range live {
+			if l == s {
+				return true
+			}
+		}
+		return false
+	}
+	var drifts []ShardDrift
+	alive := make([]int, 0, len(replicas))
+	for _, r := range replicas {
+		if liveSet(r) {
+			alive = append(alive, r)
+		} else {
+			drifts = append(drifts, ShardDrift{Kind: ShardDriftDeadReplica, Shard: r})
+		}
+	}
+	if len(alive) == 0 {
+		return append(drifts, ShardDrift{Kind: ShardDriftNoLeader, Shard: -1})
+	}
+	if replication > len(live) {
+		replication = len(live)
+	}
+	for len(alive) < replication {
+		r, ok := RecruitShard(alive, live)
+		if !ok {
+			break
+		}
+		alive = append(alive, r)
+		drifts = append(drifts, ShardDrift{Kind: ShardDriftUnderReplicated, Shard: r})
+	}
+	return drifts
+}

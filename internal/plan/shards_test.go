@@ -1,0 +1,117 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestShardReplicasDeterministicAndClamped(t *testing.T) {
+	live := []int{0, 1, 2}
+	ref := ShardReplicas("events", 3, live, 2)
+	if len(ref) != 2 {
+		t.Fatalf("want 2 replicas, got %v", ref)
+	}
+	if ref[0] == ref[1] {
+		t.Fatalf("replica set repeats a shard: %v", ref)
+	}
+	for i := 0; i < 100; i++ {
+		if got := ShardReplicas("events", 3, live, 2); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("placement not deterministic: %v vs %v", got, ref)
+		}
+	}
+	// Replication above the live count clamps to every live shard.
+	if got := ShardReplicas("events", 0, live, 7); len(got) != len(live) {
+		t.Fatalf("want clamp to %d live shards, got %v", len(live), got)
+	}
+	if got := ShardReplicas("events", 0, nil, 2); got != nil {
+		t.Fatalf("want nil placement with no live shards, got %v", got)
+	}
+}
+
+func TestShardReplicasSpreadsPartitions(t *testing.T) {
+	// Consecutive partitions of one topic rotate leaders around the ring:
+	// over len(live) consecutive partitions every shard leads exactly once.
+	live := []int{0, 1, 2}
+	leaders := make(map[int]int)
+	for q := 0; q < len(live); q++ {
+		leaders[ShardReplicas("events", q, live, 2)[0]]++
+	}
+	for _, s := range live {
+		if leaders[s] != 1 {
+			t.Fatalf("leader spread uneven: %v", leaders)
+		}
+	}
+}
+
+func TestRecruitShard(t *testing.T) {
+	live := []int{0, 1, 2, 3}
+	// Recruit walks the ring from past the leader and skips current members.
+	got, ok := RecruitShard([]int{1, 2}, live)
+	if !ok || got != 3 {
+		t.Fatalf("want recruit 3, got %d ok=%v", got, ok)
+	}
+	// Wraps around the ring end.
+	got, ok = RecruitShard([]int{3, 0}, live)
+	if !ok || got != 1 {
+		t.Fatalf("want recruit 1, got %d ok=%v", got, ok)
+	}
+	// Saturated: every live shard already holds a replica.
+	if _, ok := RecruitShard([]int{0, 1}, []int{0, 1}); ok {
+		t.Fatal("recruited into a saturated ring")
+	}
+}
+
+func TestDetectShardDriftOrdersCorrections(t *testing.T) {
+	// Shard 1 died out of {1,2}: drop the dead replica, then recruit one.
+	drifts := DetectShardDrift([]int{1, 2}, []int{0, 2, 3}, 2)
+	want := []ShardDrift{
+		{Kind: ShardDriftDeadReplica, Shard: 1},
+		{Kind: ShardDriftUnderReplicated, Shard: 3},
+	}
+	if !reflect.DeepEqual(drifts, want) {
+		t.Fatalf("drifts = %v, want %v", drifts, want)
+	}
+	// No live replica left: unavailable.
+	drifts = DetectShardDrift([]int{1}, []int{0, 2}, 2)
+	if len(drifts) != 2 || drifts[1].Kind != ShardDriftNoLeader {
+		t.Fatalf("want dead-replica then no-leader, got %v", drifts)
+	}
+}
+
+func TestDetectShardDriftAntiFlap(t *testing.T) {
+	// Applying the detected corrections and re-running detection yields
+	// nothing — across a sweep of replica sets and live sets.
+	cases := []struct {
+		replicas, live []int
+		replication    int
+	}{
+		{[]int{0, 1}, []int{0, 1, 2}, 2},
+		{[]int{0, 1}, []int{1, 2}, 2},
+		{[]int{2}, []int{0, 1, 2, 3}, 3},
+		{[]int{0, 1, 2}, []int{2}, 2},
+		{[]int{3, 1}, []int{0, 1, 2, 3, 4}, 4},
+	}
+	for _, c := range cases {
+		set := append([]int(nil), c.replicas...)
+		for _, d := range DetectShardDrift(set, c.live, c.replication) {
+			switch d.Kind {
+			case ShardDriftDeadReplica:
+				out := set[:0]
+				for _, s := range set {
+					if s != d.Shard {
+						out = append(out, s)
+					}
+				}
+				set = out
+			case ShardDriftUnderReplicated:
+				set = append(set, d.Shard)
+			}
+		}
+		if len(set) == 0 {
+			continue // no-leader: nothing to reconverge
+		}
+		if again := DetectShardDrift(set, c.live, c.replication); len(again) != 0 {
+			t.Fatalf("corrections flapped for %+v: second pass found %v (set %v)", c, again, set)
+		}
+	}
+}

@@ -136,10 +136,25 @@ type partition struct {
 	inflight   int64 // bytes in [committed, end): published, not yet committed
 	totalBytes int64 // cumulative payload bytes ever appended (feeds segment.cum)
 
+	// first is the oldest retained offset. Trim discards whole sealed
+	// segments, so first is always segment-aligned: segs[0] begins at
+	// first, and the segment holding offset o is segs[(o-first)/segSize].
+	first int64
+	// trimmedCum is the cumulative payload byte total through offset
+	// first — the prefix the trimmed segments carried — so bytesThrough
+	// stays a two-lookup subtraction across trims and resident bytes are
+	// totalBytes - trimmedCum.
+	trimmedCum int64
+
 	// down marks an injected unavailability window (chaos): while set,
 	// consumers see no data past their offsets and park as if the log were
 	// empty. Producers are unaffected — the blackout is on the fetch side.
 	down bool
+	// fencePub parks producers (in the backpressure loop) regardless of
+	// in-flight bytes: the write fence a federated cluster drops during a
+	// leader handoff or while a severed replication link would leave a
+	// publish unacknowledgeable. Clearing it wakes parked producers.
+	fencePub bool
 
 	waiters []*vclock.Event // consumers parked until data arrives
 	space   []*vclock.Event // producers parked until inflight drops
@@ -150,6 +165,32 @@ var ErrUnknownTopic = errors.New("streaming: unknown topic")
 
 // ErrBrokerClosed is returned after Close.
 var ErrBrokerClosed = errors.New("streaming: broker closed")
+
+// ErrOffsetOutOfRange is the sentinel that errors.Is matches when a
+// fetch asks for an offset below the partition's oldest retained one —
+// retention trimmed the log past the requested position. The concrete
+// error is *OffsetOutOfRangeError; errors.As extracts the coordinates,
+// and Oldest is where a consumer should resume (the
+// auto.offset.reset=earliest policy Group applies).
+var ErrOffsetOutOfRange = errors.New("streaming: offset below oldest retained")
+
+// OffsetOutOfRangeError reports a fetch below the retention floor.
+type OffsetOutOfRangeError struct {
+	Topic     string
+	Partition int
+	// Offset is the requested position; Oldest the oldest still-retained
+	// offset (fetches from Oldest succeed).
+	Offset, Oldest int64
+}
+
+// Error implements error.
+func (e *OffsetOutOfRangeError) Error() string {
+	return fmt.Sprintf("streaming: %s[%d] offset %d below oldest retained %d",
+		e.Topic, e.Partition, e.Offset, e.Oldest)
+}
+
+// Is makes errors.Is(err, ErrOffsetOutOfRange) true.
+func (e *OffsetOutOfRangeError) Is(target error) bool { return target == ErrOffsetOutOfRange }
 
 // NewBroker creates a broker.
 func NewBroker(cfg BrokerConfig) *Broker {
@@ -359,7 +400,7 @@ func (b *Broker) publish(ctx context.Context, topicName string, n int, kv func(i
 		// room. An idle partition always admits at least one batch, so a
 		// batch larger than the whole bound cannot deadlock.
 		part.mu.Lock()
-		for b.cfg.MaxInflightBytes > 0 && part.inflight > 0 && part.inflight+add > b.cfg.MaxInflightBytes {
+		for part.fencePub || (b.cfg.MaxInflightBytes > 0 && part.inflight > 0 && part.inflight+add > b.cfg.MaxInflightBytes) {
 			w := vclock.NewEvent(clock)
 			registerEvent(&part.space, w)
 			part.mu.Unlock()
@@ -454,26 +495,32 @@ func (p *partition) appendInPlace(topic string, pi int, key, value []byte, publi
 
 // bytesThrough returns the cumulative payload bytes of offsets [0, o):
 // two segment lookups, independent of how many messages the range spans.
-// Caller holds p.mu.
+// For o at or below the retention floor the trimmed prefix's total is
+// the answer (commit marks never sit below the floor — Trim clamps to
+// committed — so no caller asks inside the trimmed range). Caller holds
+// p.mu.
 func (p *partition) bytesThrough(o, segSize int64) int64 {
-	if o <= 0 {
-		return 0
+	if o <= p.first {
+		return p.trimmedCum
 	}
-	i := o - 1
+	i := o - 1 - p.first
 	return p.segs[i/segSize].cum[i%segSize]
 }
 
 // view returns up to max messages starting at offset as a read-only
 // sub-slice of one segment (callers may see fewer than max at a segment
 // boundary and loop). Returns nil when offset is at the end of the log.
-// Caller holds p.mu; the returned view stays valid after release because
+// Offsets below the retention floor are the caller's problem (FetchOrWait
+// turns them into OffsetOutOfRangeError before getting here). Caller
+// holds p.mu; the returned view stays valid after release because
 // segments never reallocate and sealed entries never change.
 func (p *partition) view(offset int64, max, segSize int) []Message {
-	if offset >= p.end || offset < 0 {
+	if offset >= p.end || offset < p.first {
 		return nil
 	}
-	seg := p.segs[offset/int64(segSize)]
-	lo := int(offset % int64(segSize))
+	rel := offset - p.first
+	seg := p.segs[rel/int64(segSize)]
+	lo := int(rel % int64(segSize))
 	hi := len(seg.msgs)
 	if hi-lo > max {
 		hi = lo + max
@@ -555,6 +602,18 @@ func (b *Broker) FetchOrWait(ctx context.Context, topicName string, parts []int,
 			part := t.partitions[parts[j]]
 			part.mu.Lock()
 			if !part.down {
+				if offsets[j] < part.first {
+					// Retention trimmed past the requested position: a typed
+					// error, not a silent snap — the caller decides whether
+					// skipping to Oldest is acceptable for its semantics.
+					oor := &OffsetOutOfRangeError{Topic: topicName, Partition: parts[j],
+						Offset: offsets[j], Oldest: part.first}
+					part.mu.Unlock()
+					if w != nil {
+						w.Fire()
+					}
+					return j, nil, oor
+				}
 				if batch := part.view(offsets[j], max, b.cfg.SegmentSize); len(batch) > 0 {
 					part.mu.Unlock()
 					if w != nil {
@@ -728,6 +787,141 @@ func (b *Broker) SetPartitionDown(topicName string, partitionIdx int, down bool)
 		w.Fire()
 	}
 	return nil
+}
+
+// SetPublishFence raises (fenced=true) or drops a write fence on one
+// partition: while fenced, publishes park in modeled time exactly as
+// under backpressure, whatever the in-flight account says. Dropping the
+// fence wakes parked producers. The federated Cluster fences writes
+// during leader handoffs and while a severed replication link would
+// leave appends unacknowledgeable; fetch-side fencing reuses
+// SetPartitionDown.
+func (b *Broker) SetPublishFence(topicName string, partitionIdx int, fenced bool) error {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	}
+	part := t.partitions[partitionIdx]
+	part.mu.Lock()
+	part.fencePub = fenced
+	var ws []*vclock.Event
+	if !fenced {
+		ws = part.space
+		part.space = nil
+	}
+	part.mu.Unlock()
+	for _, w := range ws {
+		w.Fire()
+	}
+	return nil
+}
+
+// Trim discards log segments of one partition wholly below `below`,
+// bounding resident memory under infinite streams. Only sealed (full)
+// segments strictly under the mark are dropped, so the floor stays
+// segment-aligned and the unsealed tail is never touched; `below` is
+// clamped to the commit mark, so uncommitted data is never trimmed.
+// Fetches under the new floor return OffsetOutOfRangeError. Returns the
+// oldest retained offset after the trim. Callers own the policy — the
+// Cluster trims below the low-watermark of persisted group offsets.
+func (b *Broker) Trim(topicName string, partitionIdx int, below int64) (int64, error) {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return 0, fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	}
+	part := t.partitions[partitionIdx]
+	segSize := int64(b.cfg.SegmentSize)
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	if below > part.committed {
+		below = part.committed
+	}
+	k := 0
+	for k < len(part.segs) {
+		segEnd := part.first + int64(k+1)*segSize
+		if segEnd > below || int64(len(part.segs[k].msgs)) < segSize {
+			break
+		}
+		k++
+	}
+	if k == 0 {
+		return part.first, nil
+	}
+	part.trimmedCum = part.segs[k-1].cum[segSize-1]
+	// Nil out the dropped heads before resliceing: the backing array
+	// survives in segs, and a live pointer there would pin every trimmed
+	// segment — exactly the memory the trim exists to release.
+	for i := 0; i < k; i++ {
+		part.segs[i] = nil
+	}
+	part.segs = part.segs[k:]
+	part.first += int64(k) * segSize
+	return part.first, nil
+}
+
+// OldestOffset returns a partition's retention floor: the oldest offset
+// a fetch can still serve (zero until the first trim).
+func (b *Broker) OldestOffset(topicName string, partitionIdx int) (int64, error) {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return 0, fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	}
+	part := t.partitions[partitionIdx]
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	return part.first, nil
+}
+
+// ResidentBytes returns the payload bytes a partition currently holds in
+// memory — everything appended minus everything trimmed. This is the
+// quantity the retention contract bounds.
+func (b *Broker) ResidentBytes(topicName string, partitionIdx int) (int64, error) {
+	t, err := b.topicByName(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return 0, fmt.Errorf("streaming: partition %d out of range for %q", partitionIdx, topicName)
+	}
+	part := t.partitions[partitionIdx]
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	return part.totalBytes - part.trimmedCum, nil
+}
+
+// rewindCommit forces a partition's commit mark back to `to` (clamped to
+// the retention floor), restoring the in-flight account to match. It is
+// the stale-snapshot half of the deliberate stale-handoff defect
+// (EnableStaleHandoffBug): a promoted leader restoring the commit mark
+// from an out-of-date persisted snapshot instead of the live mark.
+// Nothing outside that planted-bug path may call it — real commits are
+// monotone by contract, and the chaos cursor-rewind invariant exists to
+// catch exactly this.
+func (b *Broker) rewindCommit(topicName string, partitionIdx int, to int64) {
+	t, err := b.topicByName(topicName)
+	if err != nil || partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return
+	}
+	part := t.partitions[partitionIdx]
+	segSize := int64(b.cfg.SegmentSize)
+	part.mu.Lock()
+	if to < part.first {
+		to = part.first
+	}
+	if to < part.committed {
+		part.committed = to
+		part.inflight = part.totalBytes - part.bytesThrough(to, segSize)
+	}
+	part.mu.Unlock()
 }
 
 // EndOffset returns the next offset to be written on a partition.

@@ -1,0 +1,49 @@
+package streaming
+
+import (
+	"context"
+
+	"gopilot/internal/vclock"
+)
+
+// Bus is the client-facing surface of a message transport: everything
+// producers and consumer deployments (Group, Processor,
+// ServerlessProcessor, Produce) need from the log, and nothing about how
+// it is hosted. One in-process Broker satisfies it, and so does a
+// federated Cluster of N broker shards — a deployment moves from one to
+// the other by swapping the constructor, which is the resource
+// decoupling of the pilot abstraction applied to the broker layer
+// itself (DESIGN.md "Federation").
+type Bus interface {
+	// Clock returns the transport's clock.
+	Clock() vclock.Clock
+	// CreateTopic creates a topic with n partitions (idempotent for equal
+	// partition counts).
+	CreateTopic(name string, partitions int) error
+	// Partitions returns a topic's partition count.
+	Partitions(name string) (int, error)
+	// Publish appends one message; PublishBatch a batch of (key, value)
+	// pairs; PublishValues a key-less batch without materializing
+	// results. All block in modeled time under backpressure and fences.
+	Publish(ctx context.Context, topic string, key, value []byte) (Message, error)
+	PublishBatch(ctx context.Context, topic string, kvs [][2][]byte) ([]Message, error)
+	PublishValues(ctx context.Context, topic string, values [][]byte) error
+	// Fetch long-polls one partition; FetchOrWait is the multi-partition
+	// consumer hot path (see Broker.FetchOrWait for the full contract).
+	// Both return *OffsetOutOfRangeError for offsets below the retention
+	// floor.
+	Fetch(ctx context.Context, topic string, partition int, offset int64, max int) ([]Message, error)
+	FetchOrWait(ctx context.Context, topic string, parts []int, offsets []int64, start, max int) (int, []Message, error)
+	// Commit acknowledges consumption through an offset (monotone);
+	// Committed and EndOffset read the partition's marks.
+	Commit(topic string, partition int, through int64) error
+	Committed(topic string, partition int) (int64, error)
+	EndOffset(topic string, partition int) (int64, error)
+	// Close rejects further operations and wakes everything parked.
+	Close()
+}
+
+var (
+	_ Bus = (*Broker)(nil)
+	_ Bus = (*Cluster)(nil)
+)

@@ -1,0 +1,636 @@
+package streaming
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gopilot/internal/plan"
+	"gopilot/internal/vclock"
+)
+
+// Cluster federates N broker shards behind the single client-facing Bus
+// API (DESIGN.md "Federation"): producers and consumer groups talk to
+// the cluster exactly as to one Broker, while a control plane tracks
+// which shard leads each partition, fails shards at injected instants,
+// hands leadership to a surviving replica after a modeled election
+// delay, re-replicates the partition onto a recruit in virtual time, and
+// trims log segments below the low-watermark of persisted consumer
+// offsets so resident bytes stay bounded under infinite streams.
+//
+// Placement is planner state: the replica set of every partition comes
+// from plan.ShardReplicas, and failures reconverge through
+// plan.DetectShardDrift — pure functions of (topic, partition, live
+// shards), so same-seed runs place and re-place identically. The data
+// plane stays the one segmented zero-copy log (the shards of this model
+// are consistent replicas, so one authoritative store stands in for all
+// copies); federation manifests as availability: a partition mid-handoff
+// is down for fetches and fenced for publishes, and a severed
+// inter-shard link fences publishes on partitions whose leader can no
+// longer reach a follower for acknowledgement.
+type Cluster struct {
+	cfg     ClusterConfig
+	store   *Broker
+	offsets *OffsetStore
+	clock   vclock.Clock
+
+	runCtx context.Context
+	stopFn context.CancelFunc
+
+	mu       sync.Mutex
+	up       []bool   // shard liveness, indexed by shard id
+	severed  [][]bool // severed[a][b]: replication link a<->b is down
+	topics   map[string]*fedTopic
+	order    []*fedTopic // creation order: deterministic control sweeps
+	handoffs int
+}
+
+// fedTopic is the control-plane view of one topic.
+type fedTopic struct {
+	name  string
+	parts []*fedPart
+}
+
+// fedPart is the control-plane state of one partition.
+type fedPart struct {
+	idx      int
+	epoch    int   // leader epoch, bumped per handoff
+	replicas []int // shard ids, leader first, live by invariant
+	// availableAt fences the partition (fetch-down + publish-fence) until
+	// the handoff completes; zero means available.
+	availableAt time.Time
+	// recruit is a follower still replaying the log (-1 when none);
+	// syncedAt is the virtual instant it becomes fully in sync.
+	recruit  int
+	syncedAt time.Time
+	// lastLW/staleLW track the offset-store low-watermark as of the last
+	// and second-to-last persists — staleLW models the one-checkpoint
+	// replication lag the deliberate stale-handoff defect restores from.
+	lastLW, staleLW int64
+}
+
+// ClusterConfig configures a Cluster. The broker-shaped fields
+// (AppendCost, FetchLatency, SegmentSize, MaxInflightBytes, OnCommit,
+// Clock) carry the same semantics as BrokerConfig.
+type ClusterConfig struct {
+	// Name labels the cluster (default "cluster").
+	Name string
+	// Shards is the number of broker shards (default 3).
+	Shards int
+	// Replication is the per-partition replica count, leader included
+	// (default 2, clamped to Shards).
+	Replication int
+	// HandoffDelay is the modeled leader-election time: a partition whose
+	// leader shard fails is unavailable for this long before the promoted
+	// replica starts serving (default 500ms).
+	HandoffDelay time.Duration
+	// CatchupBytesPerSec paces re-replication: a recruited follower
+	// replays the partition's resident bytes at this modeled rate before
+	// counting as in sync (default 64 MiB/s).
+	CatchupBytesPerSec int64
+	// Offsets is the shared consumer-offset KV; groups wired to the same
+	// store drive retention. Minted fresh when nil.
+	Offsets *OffsetStore
+	// DisableRetention keeps every segment resident (no trimming) while
+	// leaving offset persistence on.
+	DisableRetention bool
+	// OnRetention, if set, observes every retention evaluation (each
+	// offset persist): the partition's resident bytes and oldest retained
+	// offset after any trim. Property tests assert the resident bound
+	// here, at exactly the instants the contract speaks about.
+	OnRetention func(topic string, partition int, resident, oldest int64)
+
+	AppendCost       time.Duration
+	FetchLatency     time.Duration
+	SegmentSize      int
+	MaxInflightBytes int64
+	OnCommit         func(topic string, partition int, from, through int64)
+	Clock            vclock.Clock
+}
+
+// staleHandoffBug, when set, makes a promoted leader restore the commit
+// mark from the stale (one-checkpoint-old) persisted snapshot instead of
+// the live mark — a reintroducible defect class (cursor rewind across
+// failover) that exists solely so the chaos suite can prove its
+// invariant checkers and bisection catch it. Nothing outside tests and
+// cmd/chaosreplay may set it.
+var staleHandoffBug atomic.Bool
+
+// EnableStaleHandoffBug toggles the deliberate stale-handoff defect used
+// to validate the chaos invariant suite. See staleHandoffBug.
+func EnableStaleHandoffBug(on bool) { staleHandoffBug.Store(on) }
+
+// NewCluster creates a federated cluster of cfg.Shards broker shards,
+// all up.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Name == "" {
+		cfg.Name = "cluster"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 3
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.Replication > cfg.Shards {
+		cfg.Replication = cfg.Shards
+	}
+	if cfg.HandoffDelay <= 0 {
+		cfg.HandoffDelay = 500 * time.Millisecond
+	}
+	if cfg.CatchupBytesPerSec <= 0 {
+		cfg.CatchupBytesPerSec = 64 << 20
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewReal()
+	}
+	if cfg.Offsets == nil {
+		cfg.Offsets = NewOffsetStore()
+	}
+	store := NewBroker(BrokerConfig{
+		Name:             cfg.Name + "-store",
+		AppendCost:       cfg.AppendCost,
+		FetchLatency:     cfg.FetchLatency,
+		SegmentSize:      cfg.SegmentSize,
+		MaxInflightBytes: cfg.MaxInflightBytes,
+		OnCommit:         cfg.OnCommit,
+		Clock:            cfg.Clock,
+	})
+	runCtx, stop := context.WithCancel(context.Background())
+	c := &Cluster{
+		cfg:     cfg,
+		store:   store,
+		offsets: cfg.Offsets,
+		clock:   cfg.Clock,
+		runCtx:  runCtx,
+		stopFn:  stop,
+		up:      make([]bool, cfg.Shards),
+		severed: make([][]bool, cfg.Shards),
+		topics:  make(map[string]*fedTopic),
+	}
+	for i := range c.up {
+		c.up[i] = true
+		c.severed[i] = make([]bool, cfg.Shards)
+	}
+	c.offsets.OnSave(c.onSave)
+	return c
+}
+
+// Clock returns the cluster's clock.
+func (c *Cluster) Clock() vclock.Clock { return c.clock }
+
+// Store exposes the authoritative data-plane broker, for fault injectors
+// (partition stalls, commit skew) and accounting reads that address the
+// log directly. Client traffic goes through the Cluster's Bus surface.
+func (c *Cluster) Store() *Broker { return c.store }
+
+// Offsets returns the cluster's consumer-offset KV; wire it into
+// GroupConfig.Offsets so group commits drive retention.
+func (c *Cluster) Offsets() *OffsetStore { return c.offsets }
+
+// ShardCount returns the configured shard count.
+func (c *Cluster) ShardCount() int { return c.cfg.Shards }
+
+// Replication returns the per-partition replica target.
+func (c *Cluster) Replication() int { return c.cfg.Replication }
+
+// LiveShards returns the ids of the shards currently up, ascending.
+func (c *Cluster) LiveShards() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveLocked()
+}
+
+func (c *Cluster) liveLocked() []int {
+	live := make([]int, 0, len(c.up))
+	for i, ok := range c.up {
+		if ok {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// Handoffs returns how many leader handoffs the cluster has performed.
+func (c *Cluster) Handoffs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.handoffs
+}
+
+// CreateTopic creates a topic and places every partition's replica set
+// on the live shard ring via plan.ShardReplicas.
+func (c *Cluster) CreateTopic(name string, partitions int) error {
+	if err := c.store.CreateTopic(name, partitions); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.topics[name]; ok {
+		return nil // store validated the partition count
+	}
+	live := c.liveLocked()
+	if len(live) == 0 {
+		return fmt.Errorf("streaming: cluster %q has no live shards", c.cfg.Name)
+	}
+	t := &fedTopic{name: name, parts: make([]*fedPart, partitions)}
+	for q := range t.parts {
+		t.parts[q] = &fedPart{
+			idx:      q,
+			replicas: plan.ShardReplicas(name, q, live, c.cfg.Replication),
+			recruit:  -1,
+		}
+	}
+	c.topics[name] = t
+	c.order = append(c.order, t)
+	return nil
+}
+
+func (c *Cluster) fedPartition(topic string, partition int) (*fedTopic, *fedPart, error) {
+	t, ok := c.topics[topic]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownTopic, topic)
+	}
+	if partition < 0 || partition >= len(t.parts) {
+		return nil, nil, fmt.Errorf("streaming: partition %d out of range for %q", partition, topic)
+	}
+	return t, t.parts[partition], nil
+}
+
+// LeaderOf returns the shard currently leading a partition.
+func (c *Cluster) LeaderOf(topic string, partition int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, p, err := c.fedPartition(topic, partition)
+	if err != nil {
+		return 0, err
+	}
+	return p.replicas[0], nil
+}
+
+// ReplicasOf returns a partition's replica set, leader first.
+func (c *Cluster) ReplicasOf(topic string, partition int) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, p, err := c.fedPartition(topic, partition)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), p.replicas...), nil
+}
+
+// Epoch returns a partition's leader epoch (bumped once per handoff).
+func (c *Cluster) Epoch(topic string, partition int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, p, err := c.fedPartition(topic, partition)
+	if err != nil {
+		return 0, err
+	}
+	return p.epoch, nil
+}
+
+// UnderReplicated counts partitions below their replication target or
+// still syncing a recruit at the current instant.
+func (c *Cluster) UnderReplicated() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	want := c.cfg.Replication
+	if live := len(c.liveLocked()); want > live {
+		want = live
+	}
+	n := 0
+	for _, t := range c.order {
+		for _, p := range t.parts {
+			if len(p.replicas) < want || (p.recruit >= 0 && p.syncedAt.After(now)) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ShardPlacement is one partition's placement, the planner-visible
+// snapshot row.
+type ShardPlacement struct {
+	Topic     string
+	Partition int
+	Epoch     int
+	Leader    int
+	Replicas  []int
+	// Syncing is true while a recruited follower is still replaying the
+	// log (re-replication in progress).
+	Syncing bool
+}
+
+// Placement snapshots every partition's placement in topic-creation and
+// partition order — deterministic, so placement can feed state hashes.
+func (c *Cluster) Placement() []ShardPlacement {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	var out []ShardPlacement
+	for _, t := range c.order {
+		for _, p := range t.parts {
+			out = append(out, ShardPlacement{
+				Topic: t.name, Partition: p.idx, Epoch: p.epoch,
+				Leader:   p.replicas[0],
+				Replicas: append([]int(nil), p.replicas...),
+				Syncing:  p.recruit >= 0 && p.syncedAt.After(now),
+			})
+		}
+	}
+	return out
+}
+
+// FailShard permanently fails one shard: every partition it led fences
+// (down for fetches, publish-fenced) for the modeled election delay —
+// longer if the only surviving replica is a recruit still catching up —
+// then hands leadership to the surviving replica and reopens; every
+// partition it followed recruits a replacement follower that re-replicates
+// the partition's resident bytes in virtual time. Failing the last live
+// shard is refused (plan.ShardDriftNoLeader: this model has no cold
+// storage to recover a leaderless partition from).
+func (c *Cluster) FailShard(id int) error {
+	c.mu.Lock()
+	if id < 0 || id >= len(c.up) {
+		c.mu.Unlock()
+		return fmt.Errorf("streaming: cluster %q has no shard %d", c.cfg.Name, id)
+	}
+	if !c.up[id] {
+		c.mu.Unlock()
+		return nil // already down
+	}
+	live := c.liveLocked()
+	if len(live) <= 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("streaming: cannot fail shard %d: last live shard of %q", id, c.cfg.Name)
+	}
+	c.up[id] = false
+	live = c.liveLocked()
+	now := c.clock.Now()
+
+	type pending struct {
+		t     *fedTopic
+		p     *fedPart
+		epoch int
+		at    time.Time
+	}
+	var fenced []pending
+	for _, t := range c.order {
+		for _, p := range t.parts {
+			if !containsInt(p.replicas, id) {
+				continue
+			}
+			wasLeader := p.replicas[0] == id
+			p.replicas = removeShard(p.replicas, id)
+			if p.recruit == id {
+				p.recruit = -1 // the syncing recruit died with the shard
+			}
+			if wasLeader {
+				c.handoffs++
+				p.epoch++
+				avail := now.Add(c.cfg.HandoffDelay)
+				if p.recruit >= 0 && p.replicas[0] == p.recruit {
+					// The heir is a recruit mid-catchup: it cannot serve
+					// before it finishes replaying the log.
+					if p.syncedAt.After(avail) {
+						avail = p.syncedAt
+					}
+					p.recruit = -1
+				}
+				p.availableAt = avail
+				// The handoff decision lands in the schedule recorder: a
+				// bisected failing seed names this exact instant.
+				vclock.Mark(c.clock, fmt.Sprintf("federation handoff %s[%d] shard %d -> %d epoch %d",
+					t.name, p.idx, id, p.replicas[0], p.epoch), uint64(p.epoch))
+				if staleHandoffBug.Load() {
+					// Planted defect: the promoted leader restores the commit
+					// mark from the stale persisted checkpoint instead of the
+					// live mark — the cursor-rewind class the chaos invariant
+					// suite must catch.
+					c.store.rewindCommit(t.name, p.idx, p.staleLW)
+				}
+				fenced = append(fenced, pending{t: t, p: p, epoch: p.epoch, at: avail})
+			}
+			// Re-replication: reconverge the replica set through the
+			// planner's drift classifier.
+			for _, d := range plan.DetectShardDrift(p.replicas, live, c.cfg.Replication) {
+				if d.Kind != plan.ShardDriftUnderReplicated {
+					continue
+				}
+				p.replicas = append(p.replicas, d.Shard)
+				p.recruit = d.Shard
+				resident, _ := c.store.ResidentBytes(t.name, p.idx)
+				syncStart := now
+				if p.availableAt.After(syncStart) {
+					syncStart = p.availableAt
+				}
+				catchup := time.Duration(float64(resident) / float64(c.cfg.CatchupBytesPerSec) * float64(time.Second))
+				p.syncedAt = syncStart.Add(catchup)
+			}
+		}
+	}
+	// Apply the fences and recompute link fences for every partition (a
+	// link to the dead shard no longer matters) in deterministic order.
+	for _, f := range fenced {
+		c.store.SetPartitionDown(f.t.name, f.p.idx, true)
+	}
+	c.applyPubFencesLocked()
+	c.mu.Unlock()
+
+	if len(fenced) > 0 {
+		// One clock participant per failure walks the handoff completions
+		// in instant order and reopens each partition whose epoch is still
+		// the one this failure installed.
+		sort.SliceStable(fenced, func(a, b int) bool { return fenced[a].at.Before(fenced[b].at) })
+		vclock.Go(c.clock, func() {
+			for _, f := range fenced {
+				if d := f.at.Sub(c.clock.Now()); d > 0 {
+					if !c.clock.Sleep(c.runCtx, d) {
+						return
+					}
+				}
+				c.mu.Lock()
+				if f.p.epoch == f.epoch {
+					f.p.availableAt = time.Time{}
+					c.store.SetPartitionDown(f.t.name, f.p.idx, false)
+					c.applyPubFencesLocked()
+				}
+				c.mu.Unlock()
+			}
+		})
+	}
+	return nil
+}
+
+// SeverLink cuts the replication link between shards a and b: partitions
+// whose leader needs the link to reach an in-sync follower cannot
+// acknowledge publishes and fence until HealLink. Fetches of already
+// acknowledged data are unaffected.
+func (c *Cluster) SeverLink(a, b int) error { return c.setLink(a, b, true) }
+
+// HealLink restores the replication link between shards a and b,
+// unfencing the partitions only it was fencing.
+func (c *Cluster) HealLink(a, b int) error { return c.setLink(a, b, false) }
+
+func (c *Cluster) setLink(a, b int, sever bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a < 0 || a >= len(c.up) || b < 0 || b >= len(c.up) || a == b {
+		return fmt.Errorf("streaming: cluster %q has no shard link %d<->%d", c.cfg.Name, a, b)
+	}
+	c.severed[a][b] = sever
+	c.severed[b][a] = sever
+	c.applyPubFencesLocked()
+	return nil
+}
+
+// applyPubFencesLocked recomputes every partition's publish fence from
+// the current control state: fenced while mid-handoff, or while the
+// leader's link to any in-sync follower is severed (synchronous
+// replication cannot acknowledge). Swept in topic-creation and partition
+// order so fence toggles land deterministically. Caller holds c.mu.
+func (c *Cluster) applyPubFencesLocked() {
+	for _, t := range c.order {
+		for _, p := range t.parts {
+			fence := !p.availableAt.IsZero()
+			if !fence {
+				leader := p.replicas[0]
+				for _, f := range p.replicas[1:] {
+					if f != p.recruit && c.severed[leader][f] {
+						fence = true
+						break
+					}
+				}
+			}
+			c.store.SetPublishFence(t.name, p.idx, fence)
+		}
+	}
+}
+
+// onSave runs at every consumer-offset persist: trim the partition's log
+// below the low-watermark of all persisted group cursors (whole sealed
+// segments only — the floor stays segment-aligned), then report the
+// retention state. This is the bounded-memory contract: trimming happens
+// at exactly the instants the durable state advances, and never above
+// what every registered group has durably consumed.
+func (c *Cluster) onSave(_ string, topic string, partition int) {
+	lw, ok := c.offsets.LowWatermark(topic, partition)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	if _, p, err := c.fedPartition(topic, partition); err == nil {
+		p.staleLW = p.lastLW
+		p.lastLW = lw
+	}
+	c.mu.Unlock()
+	oldest := int64(0)
+	if !c.cfg.DisableRetention {
+		if o, err := c.store.Trim(topic, partition, lw); err == nil {
+			oldest = o
+		}
+	} else if o, err := c.store.OldestOffset(topic, partition); err == nil {
+		oldest = o
+	}
+	if c.cfg.OnRetention != nil {
+		resident, err := c.store.ResidentBytes(topic, partition)
+		if err != nil {
+			return
+		}
+		c.cfg.OnRetention(topic, partition, resident, oldest)
+	}
+}
+
+// ResidentBytes sums the resident payload bytes across a topic's
+// partitions — the quantity retention bounds.
+func (c *Cluster) ResidentBytes(topic string) (int64, error) {
+	n, err := c.store.Partitions(topic)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for q := 0; q < n; q++ {
+		r, err := c.store.ResidentBytes(topic, q)
+		if err != nil {
+			return 0, err
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// --- Bus delegation: the data plane is the shared store. ---
+
+// Partitions returns a topic's partition count.
+func (c *Cluster) Partitions(name string) (int, error) { return c.store.Partitions(name) }
+
+// Publish appends one message through the federated log.
+func (c *Cluster) Publish(ctx context.Context, topic string, key, value []byte) (Message, error) {
+	return c.store.Publish(ctx, topic, key, value)
+}
+
+// PublishBatch appends a batch of (key, value) pairs.
+func (c *Cluster) PublishBatch(ctx context.Context, topic string, kvs [][2][]byte) ([]Message, error) {
+	return c.store.PublishBatch(ctx, topic, kvs)
+}
+
+// PublishValues appends a key-less batch (the bulk-ingest fast path).
+func (c *Cluster) PublishValues(ctx context.Context, topic string, values [][]byte) error {
+	return c.store.PublishValues(ctx, topic, values)
+}
+
+// Fetch long-polls one partition.
+func (c *Cluster) Fetch(ctx context.Context, topic string, partition int, offset int64, max int) ([]Message, error) {
+	return c.store.Fetch(ctx, topic, partition, offset, max)
+}
+
+// FetchOrWait is the consumer hot path (see Broker.FetchOrWait).
+func (c *Cluster) FetchOrWait(ctx context.Context, topic string, parts []int, offsets []int64, start, max int) (int, []Message, error) {
+	return c.store.FetchOrWait(ctx, topic, parts, offsets, start, max)
+}
+
+// Commit acknowledges consumption through an offset.
+func (c *Cluster) Commit(topic string, partition int, through int64) error {
+	return c.store.Commit(topic, partition, through)
+}
+
+// Committed returns a partition's commit mark.
+func (c *Cluster) Committed(topic string, partition int) (int64, error) {
+	return c.store.Committed(topic, partition)
+}
+
+// EndOffset returns the next offset to be written on a partition.
+func (c *Cluster) EndOffset(topic string, partition int) (int64, error) {
+	return c.store.EndOffset(topic, partition)
+}
+
+// Close stops the control plane and closes the underlying store.
+func (c *Cluster) Close() {
+	c.stopFn()
+	c.store.Close()
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func removeShard(xs []int, x int) []int {
+	out := xs[:0]
+	for _, v := range xs {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}

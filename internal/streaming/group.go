@@ -70,6 +70,15 @@ type GroupConfig struct {
 	Stream *dist.Stream
 	// CoresPerWorker sizes each worker unit (default 1).
 	CoresPerWorker int
+	// Offsets, when set, makes the group's progress durable: every
+	// partition cursor is saved to the store after its broker commit, and
+	// StartGroup loads persisted cursors back — a restarted group resumes
+	// exactly where the last committed batch ended, with zero duplicates
+	// and zero gaps. Partitions without a persisted cursor register at 0,
+	// which floors the store's low-watermark (so a federated cluster never
+	// trims data a known group has not durably consumed). Nil keeps the
+	// group ephemeral.
+	Offsets *OffsetStore
 }
 
 // generation is one epoch of the membership. It activates (ready fires)
@@ -89,7 +98,7 @@ type generation struct {
 type Group struct {
 	*counters
 	cfg    GroupConfig
-	broker *Broker
+	broker Bus
 	mgr    *core.Manager
 	nparts int
 
@@ -107,8 +116,9 @@ type Group struct {
 }
 
 // StartGroup deploys the initial workers onto mgr's pilots and starts
-// consuming. Stop (or ctx cancellation) terminates the group.
-func StartGroup(ctx context.Context, mgr *core.Manager, broker *Broker, cfg GroupConfig) (*Group, error) {
+// consuming from the given transport (one Broker or a federated
+// Cluster). Stop (or ctx cancellation) terminates the group.
+func StartGroup(ctx context.Context, mgr *core.Manager, broker Bus, cfg GroupConfig) (*Group, error) {
 	if cfg.Handler == nil {
 		return nil, errors.New("streaming: group needs a handler")
 	}
@@ -143,6 +153,19 @@ func StartGroup(ctx context.Context, mgr *core.Manager, broker *Broker, cfg Grou
 		workerRoot: cfg.Stream.Named("worker"),
 	}
 	g.offsets = make([]int64, nparts)
+	if cfg.Offsets != nil {
+		// Resume from the persisted snapshot: cursors pick up exactly where
+		// the last committed batch of a previous incarnation ended.
+		// Partitions never saved register at 0 now, so the store's
+		// low-watermark accounts for this group from the first instant.
+		for q := 0; q < nparts; q++ {
+			if next, ok := cfg.Offsets.Load(cfg.Name, cfg.Topic, q); ok {
+				g.offsets[q] = next
+			} else {
+				cfg.Offsets.Save(cfg.Name, cfg.Topic, q, 0)
+			}
+		}
+	}
 	// Generation 0: empty membership, already active.
 	gen0ctx, gen0cancel := context.WithCancel(runCtx)
 	g.cur = &generation{id: 0, ctx: gen0ctx, cancel: gen0cancel,
@@ -408,6 +431,25 @@ func (g *Group) consume(gen *generation, tc core.TaskContext, parts []int, jitte
 			if gen.ctx.Err() != nil {
 				return nil // rebalance or stop; run() re-converges
 			}
+			var oor *OffsetOutOfRangeError
+			if errors.As(err, &oor) {
+				// Retention trimmed past our cursor — possible only for
+				// offsets below every persisted group cursor (e.g. a group
+				// joining an already-trimmed stream at 0), never for this
+				// group's own committed progress. Snap to the oldest retained
+				// offset and continue: auto.offset.reset=earliest.
+				for k, q := range parts {
+					if q == oor.Partition && offsets[k] < oor.Oldest {
+						offsets[k] = oor.Oldest
+						g.mu.Lock()
+						if oor.Oldest > g.offsets[q] {
+							g.offsets[q] = oor.Oldest
+						}
+						g.mu.Unlock()
+					}
+				}
+				continue
+			}
 			return err // ErrBrokerClosed and real failures: run() decides
 		}
 		// The batch itself completes on the run context: a rebalance
@@ -434,6 +476,13 @@ func (g *Group) consume(gen *generation, tc core.TaskContext, parts []int, jitte
 			// commit: exit so run() evicts this worker now instead of
 			// discovering the closure on the next poll.
 			return err
+		}
+		if g.cfg.Offsets != nil {
+			// Persist after the broker commit, same value: the durable
+			// snapshot never runs ahead of the broker's mark, so a restart
+			// from it can re-deliver at most the batches committed after the
+			// last persist — and with this ordering there are none.
+			g.cfg.Offsets.Save(g.cfg.Name, g.cfg.Topic, parts[i], offsets[i])
 		}
 		if gen.ctx.Err() != nil {
 			return nil

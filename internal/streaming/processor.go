@@ -233,7 +233,7 @@ func runBatch(ctx context.Context, tc core.TaskContext, c *counters, batch []Mes
 type Processor struct {
 	*counters
 	cfg    ProcessorConfig
-	broker *Broker
+	broker Bus
 	mgr    *core.Manager
 
 	units []*core.ComputeUnit
@@ -242,7 +242,7 @@ type Processor struct {
 
 // StartProcessor deploys the processing units onto mgr's pilots and starts
 // consuming. Stop (or ctx cancellation) terminates the workers.
-func StartProcessor(ctx context.Context, mgr *core.Manager, broker *Broker, cfg ProcessorConfig) (*Processor, error) {
+func StartProcessor(ctx context.Context, mgr *core.Manager, broker Bus, cfg ProcessorConfig) (*Processor, error) {
 	if cfg.Handler == nil {
 		return nil, errors.New("streaming: processor needs a handler")
 	}
@@ -351,14 +351,14 @@ func (p *Processor) Stop() {
 // second) in batches of 64, returning the achieved rate. A rate <= 0
 // publishes as fast as the broker admits (the saturation probe used by
 // E7).
-func Produce(ctx context.Context, b *Broker, topic string, n int, rate float64, payload []byte) (float64, error) {
+func Produce(ctx context.Context, b Bus, topic string, n int, rate float64, payload []byte) (float64, error) {
 	return ProduceBatched(ctx, b, topic, n, rate, payload, 64)
 }
 
 // ProduceBatched is Produce with a caller-chosen publish batch size:
 // larger batches amortize broker interactions further (one lock, wake
 // and producer sleep per batch) — the bulk-ingest setting E13 uses.
-func ProduceBatched(ctx context.Context, b *Broker, topic string, n int, rate float64, payload []byte, batch int) (float64, error) {
+func ProduceBatched(ctx context.Context, b Bus, topic string, n int, rate float64, payload []byte, batch int) (float64, error) {
 	if batch <= 0 {
 		batch = 64
 	}

@@ -51,7 +51,7 @@ type ServerlessConfig struct {
 type ServerlessProcessor struct {
 	*counters
 	cfg      ServerlessConfig
-	broker   *Broker
+	broker   Bus
 	platform *serverless.Platform
 
 	stop context.CancelFunc
@@ -59,7 +59,7 @@ type ServerlessProcessor struct {
 }
 
 // StartServerless begins consuming the topic via FaaS invocations.
-func StartServerless(ctx context.Context, platform *serverless.Platform, broker *Broker, cfg ServerlessConfig) (*ServerlessProcessor, error) {
+func StartServerless(ctx context.Context, platform *serverless.Platform, broker Bus, cfg ServerlessConfig) (*ServerlessProcessor, error) {
 	if cfg.Handler == nil {
 		return nil, errors.New("streaming: serverless processor needs a handler")
 	}
