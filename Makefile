@@ -65,12 +65,14 @@ chaos:
 	$(GO) run ./cmd/chaosreplay -fuzz $(CHAOS_SEEDS) -seed0 $(CHAOS_SEED0) -v
 
 # Federation suite under the race detector: shard placement planning,
-# cluster handoff/link-fence/retention behavior, offset-persistence
+# epoch-chain divergence math, cluster handoff/link-fence/retention
+# behavior, replication catch-up and divergence repair (plus the
+# 10-seed replication-fault property test), offset-persistence
 # restarts, the retention property test, the rehomed E13 exhibit, and
 # the stale-handoff chaos acceptance test.
 test-federation:
 	$(GO) test -race -count=1 \
-		-run 'TestShardReplicas|TestRecruitShard|TestDetectShardDrift|TestCluster|TestFetchTrimmed|TestRetentionBound|TestOffsetStore|TestGroupRestart|TestRestartRedelivers|TestMillionMessages|TestChaosCatchesStaleHandoffBug' \
+		-run 'TestShardReplicas|TestRecruitShard|TestDetectShardDrift|TestDivergence|TestClassifyReplica|TestCluster|TestFetchTrimmed|TestRetentionBound|TestReplication|TestStaleHandoffBug|TestOffsetStore|TestGroupRestart|TestRestartRedelivers|TestMillionMessages|TestChaosCatchesStaleHandoffBug' \
 		./internal/plan/ ./internal/streaming/ ./internal/experiments/
 
 ci: build vet seed-audit doc-audit test race bench-compare

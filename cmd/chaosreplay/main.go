@@ -4,10 +4,11 @@
 //	chaosreplay -seed 17                  # replay one seed and verify bit-identity
 //	chaosreplay -seed 17 -bisect          # minimal failing fault prefix + first divergent decision
 //	chaosreplay -bug -churn 6 -fuzz 8 ... # prove the suite catches the reintroduced barrier bug
-//	chaosreplay -handoffbug -shardloss 1 -churn 4 -fuzz 8
+//	chaosreplay -handoffbug -shardloss 1 -churn 4 -replicalag 2 -fuzz 8
 //	                                      # same for the stale-handoff defect: a shard-loss
-//	                                      # promotion restores a stale checkpoint, the
-//	                                      # cursor-rewind invariant must catch it
+//	                                      # promotion restores a stale commit mark and skips
+//	                                      # divergence repair; the cursor-rewind and
+//	                                      # diverged-replica invariants must catch it
 //
 // Every run is deterministic: a seed that fails here fails identically
 // everywhere, and the recorded vclock schedule lets two runs be compared
@@ -36,9 +37,11 @@ func main() {
 	messages := flag.Int("messages", 0, "stream messages to produce (0 = scenario default)")
 	units := flag.Int("units", 0, "batch units to submit (0 = scenario default)")
 	cost := flag.Duration("cost", 0, "modeled per-message handling cost (0 = scenario default)")
-	churn := flag.Int("churn", 0, "override the fault mix with this many worker-churn faults (plus -shardloss faults, if any)")
+	churn := flag.Int("churn", 0, "override the fault mix with this many worker-churn faults (plus the other override-mix flags, if any)")
 	shardloss := flag.Int("shardloss", 0, "add this many shard-loss faults to the override mix")
-	horizon := flag.Duration("horizon", 0, "fault-plan horizon (only with -churn/-shardloss; 0 = 3m)")
+	replicalag := flag.Int("replicalag", 0, "add this many replica-lag windows to the override mix")
+	tornrepl := flag.Int("tornrepl", 0, "add this many torn-replication windows to the override mix")
+	horizon := flag.Duration("horizon", 0, "fault-plan horizon (only with an override mix; 0 = 3m)")
 	verbose := flag.Bool("v", false, "print per-seed results in fuzz mode and full injection logs")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -51,7 +54,7 @@ func main() {
 			Seed: s, BarrierBug: *bug, HandoffBug: *handoffBug, MaxFaults: maxFaults, Recorder: rec,
 			Messages: *messages, Units: *units, CostPerMessage: *cost,
 		}
-		if *churn > 0 || *shardloss > 0 {
+		if *churn > 0 || *shardloss > 0 || *replicalag > 0 || *tornrepl > 0 {
 			h := *horizon
 			if h <= 0 {
 				h = 3 * time.Minute
@@ -62,6 +65,12 @@ func main() {
 			}
 			if *shardloss > 0 {
 				counts[chaos.ShardLoss] = *shardloss
+			}
+			if *replicalag > 0 {
+				counts[chaos.ReplicaLag] = *replicalag
+			}
+			if *tornrepl > 0 {
+				counts[chaos.TornReplication] = *tornrepl
 			}
 			o.Faults = chaos.Config{Horizon: h, Counts: counts}
 		}
@@ -191,7 +200,7 @@ func passthroughFlags() string {
 	s := ""
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "bug", "handoffbug", "churn", "shardloss", "horizon", "messages", "units", "cost":
+		case "bug", "handoffbug", "churn", "shardloss", "replicalag", "tornrepl", "horizon", "messages", "units", "cost":
 			if f.Name == "bug" || f.Name == "handoffbug" {
 				s += " -" + f.Name
 			} else {

@@ -3,7 +3,9 @@
 // spine — schedules faults at exact virtual instants: backend outages
 // and recoveries, pilot crashes, evict storms, broker partition
 // unavailability windows, delayed commits, consumer-group worker churn,
-// federated shard losses, and inter-shard link partitions. An Engine
+// federated shard losses, inter-shard link partitions, replication-lag
+// windows, torn replication streams, and crashes of shards mid-catchup.
+// An Engine
 // replays the plan against live targets as an ordinary
 // clock participant, so the same seed produces the same faults at the
 // same modeled instants, interleaved identically with the workload.
@@ -59,6 +61,20 @@ const (
 	// window: partitions whose leader needs the link to reach an in-sync
 	// follower cannot acknowledge publishes until the link heals.
 	ShardLink
+	// ReplicaLag slows the catch-up streams of one replication link for a
+	// window (a drawn pacing multiplier), stretching follower lag and the
+	// stale-suffix exposure of a handoff inside the window.
+	ReplicaLag
+	// TornReplication freezes replication into one follower slot of one
+	// partition for a window: the stream stops at a clean batch boundary
+	// (batches are never half-applied) and the follower falls behind
+	// until the window closes.
+	TornReplication
+	// CrashMidCatchup permanently fails a shard that is currently
+	// re-replicating as a recruit — the crash-mid-catchup case of the
+	// recovery protocol. Skipped when no shard is syncing (or when it
+	// would fail the last live shard).
+	CrashMidCatchup
 
 	numKinds
 )
@@ -82,6 +98,12 @@ func (k Kind) String() string {
 		return "shard-loss"
 	case ShardLink:
 		return "shard-link"
+	case ReplicaLag:
+		return "replica-lag"
+	case TornReplication:
+		return "torn-replication"
+	case CrashMidCatchup:
+		return "crash-mid-catchup"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -89,7 +111,8 @@ func (k Kind) String() string {
 
 // windowed reports whether the kind has a recovery instant.
 func (k Kind) windowed() bool {
-	return k == BackendOutage || k == PartitionStall || k == CommitSkew || k == ShardLink
+	return k == BackendOutage || k == PartitionStall || k == CommitSkew || k == ShardLink ||
+		k == ReplicaLag || k == TornReplication
 }
 
 // Fault is one scheduled fault. All instants are virtual offsets from
@@ -108,7 +131,9 @@ type Fault struct {
 	// partition, group member slot — reduced modulo the population by the
 	// engine at injection time).
 	Target uint64
-	// Delay is the injected commit lag (CommitSkew only).
+	// Delay is the drawn lag magnitude: the injected commit lag for
+	// CommitSkew, and the severity knob the engine maps to a link pacing
+	// multiplier for ReplicaLag.
 	Delay time.Duration
 }
 
@@ -118,7 +143,7 @@ func (f Fault) String() string {
 	if f.Kind.windowed() {
 		s += fmt.Sprintf(" until=%v", f.Until)
 	}
-	if f.Kind == CommitSkew {
+	if f.Kind == CommitSkew || f.Kind == ReplicaLag {
 		s += fmt.Sprintf(" delay=%v", f.Delay)
 	}
 	return s
@@ -198,7 +223,7 @@ func Compile(stream *dist.Stream, cfg Config) Plan {
 			if k.windowed() {
 				f.Until = (f.At + window).Truncate(time.Millisecond)
 			}
-			if k == CommitSkew {
+			if k == CommitSkew || k == ReplicaLag {
 				f.Delay = skew.Truncate(time.Millisecond)
 			}
 			faults = append(faults, f)

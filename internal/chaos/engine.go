@@ -197,37 +197,59 @@ func (e *Engine) timeline() ([]event, map[int]func(now time.Duration)) {
 				e.record(f, now, n > 0, "evicted %d glideins", n)
 			})
 		case PartitionStall:
-			if e.t.Broker == nil || e.t.Topic == "" {
+			// Prefer the federated cluster (stall at the coordination layer)
+			// and fall back to a standalone broker.
+			if e.t.Cluster == nil && (e.t.Broker == nil || e.t.Topic == "") {
 				add(f.At, inj, func(now time.Duration) { e.record(f, now, false, "no broker") })
 				continue
 			}
-			nparts, err := e.t.Broker.Partitions(e.t.Topic)
+			var nparts int
+			var err error
+			if e.t.Cluster != nil {
+				nparts, err = e.t.Cluster.Partitions(e.t.Topic)
+			} else {
+				nparts, err = e.t.Broker.Partitions(e.t.Topic)
+			}
 			if err != nil || nparts == 0 {
 				add(f.At, inj, func(now time.Duration) { e.record(f, now, false, "no partitions") })
 				continue
 			}
 			part := int(f.Target % uint64(nparts))
+			setDown := func(down bool) {
+				if e.t.Cluster != nil {
+					e.t.Cluster.SetPartitionDown(e.t.Topic, part, down)
+				} else {
+					e.t.Broker.SetPartitionDown(e.t.Topic, part, down)
+				}
+			}
 			add(f.At, inj, func(now time.Duration) {
-				e.t.Broker.SetPartitionDown(e.t.Topic, part, true)
+				setDown(true)
 				e.record(f, now, true, "stalled %s[%d]", e.t.Topic, part)
 			})
 			undo := func(now time.Duration) {
-				e.t.Broker.SetPartitionDown(e.t.Topic, part, false)
+				setDown(false)
 				e.record(f, now, true, "restored %s[%d]", e.t.Topic, part)
 			}
 			add(f.Until, rec, undo)
 			recoveries[rec] = undo
 		case CommitSkew:
-			if e.t.Broker == nil {
+			if e.t.Cluster == nil && e.t.Broker == nil {
 				add(f.At, inj, func(now time.Duration) { e.record(f, now, false, "no broker") })
 				continue
 			}
+			setDelay := func(d time.Duration) {
+				if e.t.Cluster != nil {
+					e.t.Cluster.SetCommitDelay(d)
+				} else {
+					e.t.Broker.SetCommitDelay(d)
+				}
+			}
 			add(f.At, inj, func(now time.Duration) {
-				e.t.Broker.SetCommitDelay(f.Delay)
+				setDelay(f.Delay)
 				e.record(f, now, true, "commit delay %v", f.Delay)
 			})
 			undo := func(now time.Duration) {
-				e.t.Broker.SetCommitDelay(0)
+				setDelay(0)
 				e.record(f, now, true, "commit delay cleared")
 			}
 			add(f.Until, rec, undo)
@@ -299,6 +321,83 @@ func (e *Engine) timeline() ([]event, map[int]func(now time.Duration)) {
 			}
 			add(f.Until, rec, undo)
 			recoveries[rec] = undo
+		case ReplicaLag:
+			if e.t.Cluster == nil || e.t.Cluster.ShardCount() < 2 {
+				add(f.At, inj, func(now time.Duration) { e.record(f, now, false, "no cluster links to lag") })
+				continue
+			}
+			// Victim pair and severity derive from the compiled fault, so
+			// injection and recovery name the same link at the same factor.
+			n := e.t.Cluster.ShardCount()
+			a := int(f.Target % uint64(n))
+			b := (a + 1 + int((f.Target>>16)%uint64(n-1))) % n
+			factor := 1 + f.Delay.Seconds()*2
+			add(f.At, inj, func(now time.Duration) {
+				if err := e.t.Cluster.SetLinkLag(a, b, factor); err != nil {
+					e.record(f, now, false, "lag %d<->%d: %v", a, b, err)
+					return
+				}
+				e.record(f, now, true, "lagged link %d<->%d x%.1f", a, b, factor)
+			})
+			undo := func(now time.Duration) {
+				if err := e.t.Cluster.SetLinkLag(a, b, 1); err != nil {
+					e.record(f, now, false, "unlag %d<->%d: %v", a, b, err)
+					return
+				}
+				e.record(f, now, true, "link %d<->%d back to nominal", a, b)
+			}
+			add(f.Until, rec, undo)
+			recoveries[rec] = undo
+		case TornReplication:
+			if e.t.Cluster == nil || e.t.Topic == "" || e.t.Cluster.Replication() < 2 {
+				add(f.At, inj, func(now time.Duration) { e.record(f, now, false, "no replicated cluster topic") })
+				continue
+			}
+			nparts, err := e.t.Cluster.Partitions(e.t.Topic)
+			if err != nil || nparts == 0 {
+				add(f.At, inj, func(now time.Duration) { e.record(f, now, false, "no partitions") })
+				continue
+			}
+			part := int(f.Target % uint64(nparts))
+			slot := int((f.Target >> 16) % uint64(e.t.Cluster.Replication()-1))
+			add(f.At, inj, func(now time.Duration) {
+				if err := e.t.Cluster.FreezeReplica(e.t.Topic, part, slot, true); err != nil {
+					e.record(f, now, false, "freeze %s[%d] slot %d: %v", e.t.Topic, part, slot, err)
+					return
+				}
+				e.record(f, now, true, "tore replication %s[%d] slot %d", e.t.Topic, part, slot)
+			})
+			undo := func(now time.Duration) {
+				if err := e.t.Cluster.FreezeReplica(e.t.Topic, part, slot, false); err != nil {
+					e.record(f, now, false, "resume %s[%d] slot %d: %v", e.t.Topic, part, slot, err)
+					return
+				}
+				e.record(f, now, true, "resumed replication %s[%d] slot %d", e.t.Topic, part, slot)
+			}
+			add(f.Until, rec, undo)
+			recoveries[rec] = undo
+		case CrashMidCatchup:
+			add(f.At, inj, func(now time.Duration) {
+				if e.t.Cluster == nil {
+					e.record(f, now, false, "no cluster")
+					return
+				}
+				syncing := e.t.Cluster.SyncingShards()
+				if len(syncing) == 0 {
+					e.record(f, now, false, "no shard mid-catchup")
+					return
+				}
+				if len(e.t.Cluster.LiveShards()) <= 1 {
+					e.record(f, now, false, "only one live shard")
+					return
+				}
+				id := syncing[int(f.Target%uint64(len(syncing)))]
+				if err := e.t.Cluster.FailShard(id); err != nil {
+					e.record(f, now, false, "fail syncing shard %d: %v", id, err)
+					return
+				}
+				e.record(f, now, true, "crashed shard %d mid-catchup", id)
+			})
 		}
 	}
 	sort.SliceStable(events, func(a, b int) bool {

@@ -14,7 +14,8 @@ import (
 type Violation struct {
 	// Invariant names the broken invariant (stable identifiers:
 	// "exactly-once", "cursor-rewind", "stranded-barrier",
-	// "retry-budget", "leaked-reservation", "completeness", plus whatever
+	// "retry-budget", "leaked-reservation", "completeness",
+	// "shard-placement", "diverged-replica-after-repair", plus whatever
 	// a scenario reports through Violate).
 	Invariant string
 	// At is the virtual instant of detection (offset from vclock.Epoch).
@@ -159,6 +160,18 @@ func (c *Checker) CheckPlacement(cl *streaming.Cluster) {
 		if p.Syncing {
 			c.Violate("shard-placement", "%s[%d] still re-replicating after quiesce", p.Topic, p.Partition)
 		}
+	}
+}
+
+// CheckReplicas asserts replica-log convergence: after the workload
+// quiesces (faults recovered, replication lag drained), every replica's
+// epoch-span chain must agree with its leader's — a replica still
+// holding a suffix the leader never acknowledged means divergence repair
+// failed to truncate and re-stream it ("diverged-replica-after-repair",
+// the invariant the rehomed stale-handoff defect trips).
+func (c *Checker) CheckReplicas(cl *streaming.Cluster, topic string) {
+	for _, d := range cl.CheckReplicaConsistency(topic) {
+		c.Violate("diverged-replica-after-repair", "%s", d)
 	}
 }
 

@@ -105,17 +105,21 @@ func TestChaosSameSeedBitIdentical(t *testing.T) {
 
 // TestChaosCatchesStaleHandoffBug is the federation analogue of the
 // barrier-carry acceptance test: a shard-loss leader handoff that
-// restores the commit mark from a stale persisted checkpoint (the
-// deliberate stale-handoff defect) must (a) be caught as a cursor-rewind
-// violation under consumer churn, (b) replay bit-identically from its
-// seed, and (c) bisect to a minimal failing fault prefix that ends at
-// the shard-loss fault — the handoff decision — with the passing and
+// restores the commit mark from the promoted shard's stale
+// lazily-replicated local mark and skips divergence repair on deposed
+// replicas (the deliberate stale-handoff defect) must (a) be caught as
+// a cursor-rewind or diverged-replica violation under consumer churn
+// and replication lag, (b) replay bit-identically from its seed, and
+// (c) bisect to a minimal failing fault prefix that ends at the
+// shard-loss fault — the handoff decision — with the passing and
 // failing schedules diverging at an identifiable point.
 func TestChaosCatchesStaleHandoffBug(t *testing.T) {
 	requireVirtual(t)
 	shardy := chaos.Config{
 		Horizon: 3 * time.Minute,
-		Counts:  map[chaos.Kind]int{chaos.ShardLoss: 1, chaos.WorkerChurn: 4},
+		Counts: map[chaos.Kind]int{
+			chaos.ShardLoss: 1, chaos.WorkerChurn: 4, chaos.ReplicaLag: 2,
+		},
 	}
 	bugOpts := func(seed int64, maxFaults int) ChaosOptions {
 		return ChaosOptions{Seed: seed, Faults: shardy, HandoffBug: true,
@@ -141,12 +145,12 @@ func TestChaosCatchesStaleHandoffBug(t *testing.T) {
 	}
 	sig := false
 	for _, v := range failing.Violations {
-		if v.Invariant == "cursor-rewind" {
+		if v.Invariant == "cursor-rewind" || v.Invariant == "diverged-replica-after-repair" {
 			sig = true
 		}
 	}
 	if !sig {
-		t.Fatalf("caught violations lack the cursor-rewind signature: %v", failing.Violations)
+		t.Fatalf("caught violations lack the stale-handoff signature: %v", failing.Violations)
 	}
 
 	// (b) The failing seed replays bit-identically.

@@ -39,8 +39,9 @@ type ChaosOptions struct {
 	BarrierBug bool
 	// HandoffBug enables the deliberate stale-handoff defect
 	// (streaming.EnableStaleHandoffBug): a shard-loss promotion restores
-	// the commit mark from a stale persisted checkpoint, which the
-	// cursor-rewind invariant must catch. Never set outside
+	// the commit mark from the promoted shard's stale lazily-replicated
+	// local mark (cursor-rewind) and skips divergence repair on deposed
+	// replicas (diverged-replica-after-repair). Never set outside
 	// tests/cmd/chaosreplay.
 	HandoffBug bool
 	// MaxFaults truncates the compiled plan to its first MaxFaults faults
@@ -68,14 +69,17 @@ func DefaultChaosFaults() chaos.Config {
 	return chaos.Config{
 		Horizon: 4 * time.Minute,
 		Counts: map[chaos.Kind]int{
-			chaos.BackendOutage:  3,
-			chaos.PilotCrash:     3,
-			chaos.EvictStorm:     1,
-			chaos.PartitionStall: 2,
-			chaos.CommitSkew:     1,
-			chaos.WorkerChurn:    3,
-			chaos.ShardLoss:      1,
-			chaos.ShardLink:      1,
+			chaos.BackendOutage:   3,
+			chaos.PilotCrash:      3,
+			chaos.EvictStorm:      1,
+			chaos.PartitionStall:  2,
+			chaos.CommitSkew:      1,
+			chaos.WorkerChurn:     3,
+			chaos.ShardLoss:       1,
+			chaos.ShardLink:       1,
+			chaos.ReplicaLag:      2,
+			chaos.TornReplication: 1,
+			chaos.CrashMidCatchup: 1,
 		},
 	}
 }
@@ -149,7 +153,7 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 	const topic = "chaos-events"
 	const parts = 4
 	cluster := streaming.NewCluster(streaming.ClusterConfig{
-		Name: "chaos", Shards: 3, Replication: 2, HandoffDelay: 2 * time.Second,
+		Name: "chaos", Shards: 3, Replication: 3, HandoffDelay: 2 * time.Second,
 		AppendCost: time.Millisecond, FetchLatency: time.Millisecond,
 		OnCommit: checker.OnCommit, Clock: tb.Clock,
 	})
@@ -257,9 +261,9 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 		},
 		LivePilots: livePilots,
 		Storm:      tb.HTC.Storm,
-		Broker:     cluster.Store(), Topic: topic,
-		Group:   group,
-		Cluster: cluster,
+		Topic:      topic,
+		Group:      group,
+		Cluster:    cluster,
 	})
 	engDone := vclock.NewEvent(tb.Clock)
 	var injected []chaos.Applied
@@ -285,7 +289,10 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 				return false
 			}
 		}
-		return true
+		// Replication must drain too: every follower caught up, no recruit
+		// still syncing — otherwise the replica-consistency check below
+		// would race the catch-up streams it is meant to judge.
+		return cluster.UnderReplicated() == 0
 	}
 	for !quiesced() {
 		if tb.Clock.Now().After(deadline) {
@@ -313,6 +320,7 @@ func Chaos(opts ChaosOptions) (*ChaosReport, error) {
 	checker.CheckBarrier(group)
 	checker.CheckCompleteness(opts.Messages)
 	checker.CheckPlacement(cluster)
+	checker.CheckReplicas(cluster, topic)
 
 	report := &ChaosReport{
 		Seed:       opts.Seed,
@@ -359,8 +367,11 @@ func chaosStateHash(r *ChaosReport, mgr *core.Manager, c *streaming.Cluster, top
 		if mark, err := c.Committed(topic, p); err == nil {
 			mix(uint64(mark))
 		}
-		if oldest, err := c.Store().OldestOffset(topic, p); err == nil {
+		if oldest, err := c.OldestOffset(topic, p); err == nil {
 			mix(uint64(oldest)) // retention floor: trims must land identically
+		}
+		if hw, err := c.AckedOffset(topic, p); err == nil {
+			mix(uint64(hw)) // quorum watermark: replication must land identically
 		}
 	}
 	mix(uint64(c.Handoffs()))

@@ -14,21 +14,26 @@ import (
 
 // MillionMessages is E13, the scale exhibit for the streaming data
 // plane: n messages (default 10⁶) through an 8-partition topic on a
-// 3-shard federated cluster (replication 2), consumed by a consumer
-// group that starts at 4 workers, grows to 5 mid-run, and shrinks back —
-// two live rebalances — while per-partition MaxInflightBytes
-// backpressure throttles the producer to consumer speed. At the halfway
-// mark the shard leading partition 0 is failed: its partitions fence,
-// hand off to surviving replicas, and re-replicate, all in virtual time.
-// Group offsets persist to the cluster's KV, so retention continuously
-// trims the log below the committed low-watermark — resident bytes stay
-// bounded however long the stream runs.
+// 3-shard federated cluster (replication 3 — every shard holds every
+// partition's log), consumed by a consumer group that starts at 4
+// workers, grows to 5 mid-run, and shrinks back — two live rebalances —
+// while per-partition MaxInflightBytes backpressure throttles the
+// producer to consumer speed. Publishes acknowledge only at the quorum
+// watermark, so the producer's pace is also the replication plane's. At
+// the halfway mark the shard leading partition 0 is failed: its
+// partitions fence, hand off to surviving replicas, and the deposed
+// logs' unacknowledged suffixes are truncated and re-streamed, all in
+// virtual time. Group offsets persist to the cluster's KV, so retention
+// continuously trims the log below the committed low-watermark —
+// resident bytes stay bounded however long the stream runs.
 //
-// Three invariants are checked inline and reported in the table, cheap
+// Four invariants are checked inline and reported in the table, cheap
 // enough to leave on under the benchmark gate: exactly-once in-order
 // delivery (per-partition expected-offset CAS in the handler), commit
-// marks that only advance and stay gapless (OnCommit), and the
-// resident-byte bound at every retention instant (OnRetention). Each is
+// marks that only advance and stay gapless (OnCommit), the acknowledged
+// watermark advancing monotonically without gaps (OnAcked), and the
+// resident-byte bound at every retention instant (OnRetention); replica
+// logs are checked for divergence after the drain. Each is
 // bit-identical per seed (BenchmarkStreaming_Million pins the wall-time
 // and allocation budget).
 func MillionMessages(scale float64, n int) (*metrics.Table, error) {
@@ -58,6 +63,7 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 	var residentMax atomic.Int64
 	var nextOffset [partitions]int64 // expected next delivery per partition
 	var commitMark [partitions]int64 // last commit-through per partition
+	var ackedMark [partitions]int64  // last acknowledged watermark per partition
 	// The retention contract's bound: uncommitted in-flight bytes (capped
 	// by backpressure, or one full publish batch admitted into an idle
 	// partition), plus at most one unsealed segment of committed-but-not-
@@ -65,7 +71,7 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 	const residentBound = inflight + pubBatch*payloadLen + segSize*payloadLen
 
 	cluster := streaming.NewCluster(streaming.ClusterConfig{
-		Name: "million", Shards: shards, Replication: 2,
+		Name: "million", Shards: shards, Replication: 3,
 		HandoffDelay: 100 * time.Millisecond,
 		// 50k msg/s per partition: the producer alone could saturate the
 		// topic at 400k msg/s, so the consumers are the bottleneck and
@@ -83,6 +89,15 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 				violations.Add(1)
 			}
 			atomic.StoreInt64(&commitMark[p], through)
+		},
+		OnAcked: func(_ string, p int, from, to int64) {
+			// The quorum watermark advances monotonically and gaplessly:
+			// each advance starts exactly where the last one ended, even
+			// across the mid-run handoff. The CAS mirrors the delivery
+			// check — uncontended, kept sound across leadership changes.
+			if !atomic.CompareAndSwapInt64(&ackedMark[p], from, to) || to <= from {
+				violations.Add(1)
+			}
 		},
 		OnRetention: func(_ string, _ int, resident, _ int64) {
 			for {
@@ -193,6 +208,10 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 	}
 	group.Stop()
 
+	// Replica-log convergence: after the drain every follower's epoch
+	// chain must agree with its leader's — a surviving diverged suffix
+	// means the handoff's truncate-and-re-stream repair failed.
+	violations.Add(int64(len(cluster.CheckReplicaConsistency(topic))))
 	invariants := "ok"
 	if v := violations.Load(); v > 0 {
 		invariants = fmt.Sprintf("VIOLATED(%d)", v)
@@ -203,13 +222,13 @@ func MillionMessages(scale float64, n int) (*metrics.Table, error) {
 			n, partitions, shards, workers, workers+1, workers),
 		"messages", "partitions", "shards", "handoffs", "workers", "rebalances",
 		"produce_rate_msg_s", "throughput_msg_s", "latency_p50_s", "latency_p95_s",
-		"resident_max_b", "invariants")
+		"resident_max_b", "repairs", "invariants")
 	t.AddRow(group.Processed(), partitions, len(cluster.LiveShards()), cluster.Handoffs(),
 		len(group.Members()), group.Rebalances(),
 		fmt.Sprintf("%.0f", produceRate),
 		fmt.Sprintf("%.0f", group.Throughput()),
 		fmt.Sprintf("%.3f", lat.Median),
 		fmt.Sprintf("%.3f", lat.P95),
-		residentMax.Load(), invariants)
+		residentMax.Load(), cluster.Repairs(), invariants)
 	return t, nil
 }

@@ -1,0 +1,147 @@
+package plan
+
+// Replica log classification for the federated streaming plane.
+//
+// Each shard keeps a physical per-partition log whose batches are tagged
+// with the leadership epoch that appended them. Because there is exactly
+// one writer per epoch (the leader serializes appends), two logs agree on
+// an offset range iff they agree on the epoch chain covering it — so
+// divergence detection reduces to comparing the compact epoch-span chains
+// rather than message payloads. These functions are pure decision logic:
+// no clocks, no locks, no I/O (seed-audit rule: the control plane never
+// touches time).
+
+// EpochSpan records that offsets in [Start, nextSpan.Start) were appended
+// under the given leadership epoch. A log's chain is ordered by Start and
+// the final span extends to the log's end offset.
+type EpochSpan struct {
+	Start int64
+	Epoch int
+}
+
+// epochAt returns the epoch governing offset o in the given chain, or
+// (-1, false) if o precedes every span (the chain has been trimmed past
+// the point of interest — caller should treat as unknown).
+func epochAt(spans []EpochSpan, o int64) (int, bool) {
+	e, ok := -1, false
+	for _, s := range spans {
+		if s.Start > o {
+			break
+		}
+		e, ok = s.Epoch, true
+	}
+	return e, ok
+}
+
+// DivergencePoint compares a replica's epoch-span chain against the
+// leader's over [from, replicaEnd) and returns the first offset at which
+// the replica's log provably disagrees with the leader's, plus whether
+// such a point exists.
+//
+//   - A replica that is merely *short* (replicaEnd < leaderEnd, chains
+//     matching over its range) is lagging, not diverged: returns (0, false).
+//   - A replica holding offsets the leader does not (replicaEnd >
+//     leaderEnd) is diverged at leaderEnd: those entries were acknowledged
+//     only locally by a deposed leader.
+//   - A replica whose epoch at some offset differs from the leader's epoch
+//     at the same offset is diverged at the first such offset.
+//
+// Offsets below `from` (trimmed on either side) are assumed consistent:
+// trimming only discards offsets below the quorum watermark, which both
+// logs agreed on by definition.
+func DivergencePoint(leader, replica []EpochSpan, from, leaderEnd, replicaEnd int64) (int64, bool) {
+	if replicaEnd > leaderEnd {
+		// Suffix the leader does not have. Check the shared range first:
+		// it may diverge even earlier.
+		if at, ok := DivergencePoint(leader, replica, from, leaderEnd, leaderEnd); ok {
+			return at, true
+		}
+		return leaderEnd, true
+	}
+	// Walk the boundary offsets of both chains within [from, replicaEnd):
+	// epochs are constant between boundaries, so checking each boundary
+	// (and `from` itself) covers the whole range.
+	check := func(o int64) (int64, bool) {
+		if o < from || o >= replicaEnd {
+			return 0, false
+		}
+		le, lok := epochAt(leader, o)
+		re, rok := epochAt(replica, o)
+		if lok && rok && le != re {
+			return o, true
+		}
+		return 0, false
+	}
+	best, found := int64(0), false
+	consider := func(o int64) {
+		if at, ok := check(o); ok && (!found || at < best) {
+			best, found = at, ok
+		}
+	}
+	consider(from)
+	for _, s := range leader {
+		consider(s.Start)
+	}
+	for _, s := range replica {
+		consider(s.Start)
+	}
+	return best, found
+}
+
+// ReplicaState classifies a follower log relative to its leader.
+type ReplicaState int
+
+const (
+	// ReplicaSynced: identical epoch chain, identical end offset.
+	ReplicaSynced ReplicaState = iota
+	// ReplicaLagging: a strict prefix of the leader's log (matching
+	// chain, shorter end). Catch-up streaming will close the gap.
+	ReplicaLagging
+	// ReplicaDiverged: holds offsets whose epoch disagrees with the
+	// leader's, or offsets past the leader's end. Must be truncated to
+	// the divergence point and re-streamed.
+	ReplicaDiverged
+)
+
+// String implements fmt.Stringer.
+func (s ReplicaState) String() string {
+	switch s {
+	case ReplicaSynced:
+		return "synced"
+	case ReplicaLagging:
+		return "lagging"
+	case ReplicaDiverged:
+		return "diverged"
+	default:
+		return "unknown"
+	}
+}
+
+// ReplicaReport is the result of classifying one follower against its
+// leader: the state, the replication lag in messages (leader end −
+// replica end, never negative), and — when diverged — the first bad
+// offset to truncate to.
+type ReplicaReport struct {
+	State      ReplicaState
+	Lag        int64
+	DivergedAt int64
+}
+
+// ClassifyReplica compares a follower log against the leader's and
+// reports synced / lagging / diverged plus the lag in messages. `from`
+// bounds the comparison below (offsets below it are trimmed-and-agreed).
+func ClassifyReplica(leader, replica []EpochSpan, from, leaderEnd, replicaEnd int64) ReplicaReport {
+	r := ReplicaReport{}
+	if leaderEnd > replicaEnd {
+		r.Lag = leaderEnd - replicaEnd
+	}
+	if at, ok := DivergencePoint(leader, replica, from, leaderEnd, replicaEnd); ok {
+		r.State = ReplicaDiverged
+		r.DivergedAt = at
+		return r
+	}
+	if r.Lag > 0 {
+		r.State = ReplicaLagging
+	}
+	return r
+}

@@ -1,0 +1,102 @@
+package plan
+
+import "testing"
+
+func spans(pairs ...int64) []EpochSpan {
+	out := make([]EpochSpan, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, EpochSpan{Start: pairs[i], Epoch: int(pairs[i+1])})
+	}
+	return out
+}
+
+func TestDivergencePointSyncedAndLagging(t *testing.T) {
+	leader := spans(0, 0, 100, 1)
+	// Identical chain, identical end: synced.
+	if _, ok := DivergencePoint(leader, spans(0, 0, 100, 1), 0, 150, 150); ok {
+		t.Fatalf("identical logs reported diverged")
+	}
+	// Strict prefix (shorter, chain matches): lagging, not diverged.
+	if _, ok := DivergencePoint(leader, spans(0, 0), 0, 150, 80); ok {
+		t.Fatalf("lagging prefix reported diverged")
+	}
+	// Prefix that includes part of the second epoch.
+	if _, ok := DivergencePoint(leader, spans(0, 0, 100, 1), 0, 150, 120); ok {
+		t.Fatalf("lagging prefix across epoch boundary reported diverged")
+	}
+}
+
+func TestDivergencePointStaleSuffix(t *testing.T) {
+	// Replica kept writing under epoch 0 past offset 100 while the new
+	// leader's chain switches to epoch 1 at 100.
+	leader := spans(0, 0, 100, 1)
+	replica := spans(0, 0)
+	at, ok := DivergencePoint(leader, replica, 0, 150, 130)
+	if !ok || at != 100 {
+		t.Fatalf("DivergencePoint = (%d,%v), want (100,true)", at, ok)
+	}
+}
+
+func TestDivergencePointReplicaLonger(t *testing.T) {
+	// Replica holds offsets past the leader's end under the same epoch:
+	// locally-acked-only suffix, diverged at leaderEnd.
+	leader := spans(0, 0)
+	replica := spans(0, 0)
+	at, ok := DivergencePoint(leader, replica, 0, 100, 120)
+	if !ok || at != 100 {
+		t.Fatalf("DivergencePoint = (%d,%v), want (100,true)", at, ok)
+	}
+	// Longer AND chain-diverged earlier: the earlier point wins.
+	leader = spans(0, 0, 50, 2)
+	replica = spans(0, 0, 50, 1)
+	at, ok = DivergencePoint(leader, replica, 0, 100, 120)
+	if !ok || at != 50 {
+		t.Fatalf("DivergencePoint = (%d,%v), want (50,true)", at, ok)
+	}
+}
+
+func TestDivergencePointRespectsFrom(t *testing.T) {
+	// Disagreement exists only below `from` (both trimmed past it):
+	// treated as consistent.
+	leader := spans(0, 0, 100, 2)
+	replica := spans(0, 0, 100, 1, 140, 2)
+	at, ok := DivergencePoint(leader, replica, 140, 200, 200)
+	if ok {
+		t.Fatalf("divergence below from reported: at=%d", at)
+	}
+	// With from lowered the epoch-1 stretch is visible again.
+	at, ok = DivergencePoint(leader, replica, 100, 200, 200)
+	if !ok || at != 100 {
+		t.Fatalf("DivergencePoint = (%d,%v), want (100,true)", at, ok)
+	}
+}
+
+func TestDivergencePointMidSpanBoundary(t *testing.T) {
+	// Divergence boundary falls inside a leader span: first replica
+	// boundary past `from` is the detection point.
+	leader := spans(0, 0, 80, 1, 160, 3)
+	replica := spans(0, 0, 80, 1, 160, 2)
+	at, ok := DivergencePoint(leader, replica, 90, 200, 200)
+	if !ok || at != 160 {
+		t.Fatalf("DivergencePoint = (%d,%v), want (160,true)", at, ok)
+	}
+}
+
+func TestClassifyReplica(t *testing.T) {
+	leader := spans(0, 0, 100, 1)
+	if r := ClassifyReplica(leader, spans(0, 0, 100, 1), 0, 150, 150); r.State != ReplicaSynced || r.Lag != 0 {
+		t.Fatalf("synced: got %+v", r)
+	}
+	if r := ClassifyReplica(leader, spans(0, 0), 0, 150, 90); r.State != ReplicaLagging || r.Lag != 60 {
+		t.Fatalf("lagging: got %+v", r)
+	}
+	r := ClassifyReplica(leader, spans(0, 0), 0, 150, 130)
+	if r.State != ReplicaDiverged || r.DivergedAt != 100 || r.Lag != 20 {
+		t.Fatalf("diverged: got %+v", r)
+	}
+	for _, s := range []ReplicaState{ReplicaSynced, ReplicaLagging, ReplicaDiverged, ReplicaState(99)} {
+		if s.String() == "" {
+			t.Fatalf("empty String for %d", int(s))
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"gopilot/internal/plan"
 	"gopilot/internal/vclock"
 )
 
@@ -131,6 +132,16 @@ type partition struct {
 	segs     []*segment
 	end      int64     // next offset to be written
 	nextFree time.Time // modeled time the partition finishes current appends
+
+	// curEpoch is the leadership epoch stamped onto new appends; the
+	// federated Cluster bumps it on every leader handoff (standalone
+	// brokers stay at epoch 0). epochs is the compact epoch-span chain of
+	// the retained log: epochs[i] says offsets from epochs[i].Start up to
+	// the next span's Start were appended under that epoch. One entry per
+	// leadership change, so the chain stays tiny and is retained across
+	// trims (divergence detection needs history below the current end).
+	curEpoch int
+	epochs   []plan.EpochSpan
 
 	committed  int64 // offsets below this are consumer-acknowledged
 	inflight   int64 // bytes in [committed, end): published, not yet committed
@@ -487,6 +498,9 @@ func (p *partition) appendInPlace(topic string, pi int, key, value []byte, publi
 	m.Key = key
 	m.Value = value
 	m.Published = published
+	if n := len(p.epochs); n == 0 || p.epochs[n-1].Epoch != p.curEpoch {
+		p.epochs = append(p.epochs, plan.EpochSpan{Start: p.end, Epoch: p.curEpoch})
+	}
 	p.end++
 	p.totalBytes += int64(len(key) + len(value))
 	seg.cum = append(seg.cum, p.totalBytes)
@@ -896,32 +910,6 @@ func (b *Broker) ResidentBytes(topicName string, partitionIdx int) (int64, error
 	part.mu.Lock()
 	defer part.mu.Unlock()
 	return part.totalBytes - part.trimmedCum, nil
-}
-
-// rewindCommit forces a partition's commit mark back to `to` (clamped to
-// the retention floor), restoring the in-flight account to match. It is
-// the stale-snapshot half of the deliberate stale-handoff defect
-// (EnableStaleHandoffBug): a promoted leader restoring the commit mark
-// from an out-of-date persisted snapshot instead of the live mark.
-// Nothing outside that planted-bug path may call it — real commits are
-// monotone by contract, and the chaos cursor-rewind invariant exists to
-// catch exactly this.
-func (b *Broker) rewindCommit(topicName string, partitionIdx int, to int64) {
-	t, err := b.topicByName(topicName)
-	if err != nil || partitionIdx < 0 || partitionIdx >= len(t.partitions) {
-		return
-	}
-	part := t.partitions[partitionIdx]
-	segSize := int64(b.cfg.SegmentSize)
-	part.mu.Lock()
-	if to < part.first {
-		to = part.first
-	}
-	if to < part.committed {
-		part.committed = to
-		part.inflight = part.totalBytes - part.bytesThrough(to, segSize)
-	}
-	part.mu.Unlock()
 }
 
 // EndOffset returns the next offset to be written on a partition.

@@ -14,44 +14,64 @@ import (
 
 // Cluster federates N broker shards behind the single client-facing Bus
 // API (DESIGN.md "Federation"): producers and consumer groups talk to
-// the cluster exactly as to one Broker, while a control plane tracks
-// which shard leads each partition, fails shards at injected instants,
-// hands leadership to a surviving replica after a modeled election
-// delay, re-replicates the partition onto a recruit in virtual time, and
-// trims log segments below the low-watermark of persisted consumer
-// offsets so resident bytes stay bounded under infinite streams.
+// the cluster exactly as to one Broker, while every shard runs its own
+// physical Broker and every partition's log is *replicated* — the leader
+// appends locally, per-link catch-up runners stream acknowledged batches
+// to the followers in virtual time, and a per-partition acknowledged
+// high watermark (the minimum log end across full members) gates what
+// consumers may fetch and commit. Only quorum-acknowledged offsets are
+// visible, so a publish returns when its batch is replicated, and a
+// slow or severed replication link back-pressures producers instead of
+// losing data.
 //
-// Placement is planner state: the replica set of every partition comes
-// from plan.ShardReplicas, and failures reconverge through
-// plan.DetectShardDrift — pure functions of (topic, partition, live
-// shards), so same-seed runs place and re-place identically. The data
-// plane stays the one segmented zero-copy log (the shards of this model
-// are consistent replicas, so one authoritative store stands in for all
-// copies); federation manifests as availability: a partition mid-handoff
-// is down for fetches and fenced for publishes, and a severed
-// inter-shard link fences publishes on partitions whose leader can no
-// longer reach a follower for acknowledgement.
+// Handoff is a genuine recovery protocol. When a leader shard dies the
+// control plane promotes the first fully-replicated survivor, bumps the
+// leadership epoch, truncates the promoted log to the acknowledged
+// watermark (its un-acked suffix may be stale), and restores the
+// coordinator's commit mark onto it; the deposed shard's locally-acked
+// suffix — and any follower that replicated past the watermark — now
+// *diverges* from the new leader's chain. Each batch carries its
+// leadership epoch, so a log is summarized by a compact epoch-span
+// chain, and the catch-up runners detect divergence by chain compare
+// (plan.DivergencePoint), repair it by truncate-to-watermark, and
+// re-stream the authoritative suffix.
+//
+// Placement stays planner state: replica sets come from
+// plan.ShardReplicas, failures reconverge through plan.DetectShardDrift,
+// and divergence/lag classification is plan.ClassifyReplica — pure
+// functions, so same-seed runs place, re-place and repair identically.
 type Cluster struct {
 	cfg     ClusterConfig
-	store   *Broker
+	shards  []*Broker
 	offsets *OffsetStore
 	clock   vclock.Clock
+
+	fetchLatency time.Duration
+	segSize      int
 
 	runCtx context.Context
 	stopFn context.CancelFunc
 
 	mu       sync.Mutex
-	up       []bool   // shard liveness, indexed by shard id
-	severed  [][]bool // severed[a][b]: replication link a<->b is down
+	closed   bool
+	up       []bool      // shard liveness, indexed by shard id
+	severed  [][]bool    // severed[a][b]: replication link a<->b is down
+	lagFac   [][]float64 // per-link catch-up pacing multiplier (0 = nominal)
 	topics   map[string]*fedTopic
 	order    []*fedTopic // creation order: deterministic control sweeps
 	handoffs int
+	repairs  int
+	// ctrl holds waiters parked on control-plane state (fences, epochs,
+	// links, stalls): fired and swept on every control change and on
+	// Close, so nothing outlives the state it waits on.
+	ctrl []*vclock.Event
 }
 
 // fedTopic is the control-plane view of one topic.
 type fedTopic struct {
 	name  string
 	parts []*fedPart
+	rr    int // round-robin cursor for key-less publishes (see topic.rr)
 }
 
 // fedPart is the control-plane state of one partition.
@@ -59,22 +79,38 @@ type fedPart struct {
 	idx      int
 	epoch    int   // leader epoch, bumped per handoff
 	replicas []int // shard ids, leader first, live by invariant
-	// availableAt fences the partition (fetch-down + publish-fence) until
-	// the handoff completes; zero means available.
+	// syncing lists the recruits still catching up: members whose log end
+	// has not yet reached the leader's. They replicate like any follower
+	// but do not count toward the acknowledged watermark.
+	syncing []int
+	// availableAt fences the partition (fetches and publishes park on
+	// ctrl) until the handoff completes; zero means available.
 	availableAt time.Time
-	// recruit is a follower still replaying the log (-1 when none);
-	// syncedAt is the virtual instant it becomes fully in sync.
-	recruit  int
-	syncedAt time.Time
-	// lastLW/staleLW track the offset-store low-watermark as of the last
-	// and second-to-last persists — staleLW models the one-checkpoint
-	// replication lag the deliberate stale-handoff defect restores from.
-	lastLW, staleLW int64
+	// stalled marks an injected fetch blackout (chaos): consumers park as
+	// if no data were acknowledged. Producers are unaffected.
+	stalled bool
+	// frozen[slot] freezes replication into follower slot `slot`
+	// (replicas[1+slot]) — the torn-replication chaos fault.
+	frozen []bool
+	// acked is the acknowledged high watermark: offsets below it are on
+	// every full member. Monotone. commit is the coordinator's commit
+	// mark — the cluster-truth cursor that survives leader handoffs.
+	acked  int64
+	commit int64
+	// ackedAtEpoch[e] is the watermark at the instant epoch e was
+	// installed — the truncation point of that handoff, which tells a
+	// mid-publish producer exactly how much of its batch survived. One
+	// entry per epoch; epochs are bounded by shard deaths.
+	ackedAtEpoch []int64
+	// ackWait holds producers parked until acked reaches their batch end
+	// or the epoch moves; fired on watermark advance and on handoff.
+	ackWait []*vclock.Event
 }
 
 // ClusterConfig configures a Cluster. The broker-shaped fields
 // (AppendCost, FetchLatency, SegmentSize, MaxInflightBytes, OnCommit,
-// Clock) carry the same semantics as BrokerConfig.
+// Clock) carry the same semantics as BrokerConfig and apply to every
+// shard's broker.
 type ClusterConfig struct {
 	// Name labels the cluster (default "cluster").
 	Name string
@@ -87,9 +123,9 @@ type ClusterConfig struct {
 	// leader shard fails is unavailable for this long before the promoted
 	// replica starts serving (default 500ms).
 	HandoffDelay time.Duration
-	// CatchupBytesPerSec paces re-replication: a recruited follower
-	// replays the partition's resident bytes at this modeled rate before
-	// counting as in sync (default 64 MiB/s).
+	// CatchupBytesPerSec paces replication: each leader→follower link
+	// streams batches at this modeled rate (default 64 MiB/s). Chaos
+	// replica-lag faults multiply a link's pace via SetLinkLag.
 	CatchupBytesPerSec int64
 	// Offsets is the shared consumer-offset KV; groups wired to the same
 	// store drive retention. Minted fresh when nil.
@@ -98,10 +134,15 @@ type ClusterConfig struct {
 	// leaving offset persistence on.
 	DisableRetention bool
 	// OnRetention, if set, observes every retention evaluation (each
-	// offset persist): the partition's resident bytes and oldest retained
+	// offset persist): the leader's resident bytes and oldest retained
 	// offset after any trim. Property tests assert the resident bound
 	// here, at exactly the instants the contract speaks about.
 	OnRetention func(topic string, partition int, resident, oldest int64)
+	// OnAcked, if set, observes every advance of a partition's
+	// acknowledged high watermark: from → to, to > from. Invoked under
+	// the cluster lock — callbacks must not call back into the cluster.
+	// The E13 inline invariants prove watermark monotonicity here.
+	OnAcked func(topic string, partition int, from, to int64)
 
 	AppendCost       time.Duration
 	FetchLatency     time.Duration
@@ -111,11 +152,13 @@ type ClusterConfig struct {
 	Clock            vclock.Clock
 }
 
-// staleHandoffBug, when set, makes a promoted leader restore the commit
-// mark from the stale (one-checkpoint-old) persisted snapshot instead of
-// the live mark — a reintroducible defect class (cursor rewind across
-// failover) that exists solely so the chaos suite can prove its
-// invariant checkers and bisection catch it. Nothing outside tests and
+// staleHandoffBug, when set, plants the deliberate stale-handoff defect:
+// a promoted leader restores the coordinator commit mark from its own
+// lazily-replicated local mark (stale by up to one replication round),
+// and the catch-up runners skip divergence repair, streaming blindly
+// past a follower's stale suffix. Together those surface as the
+// cursor-rewind and diverged-replica-after-repair invariant violations
+// the chaos suite exists to catch. Nothing outside tests and
 // cmd/chaosreplay may set it.
 var staleHandoffBug atomic.Bool
 
@@ -123,8 +166,11 @@ var staleHandoffBug atomic.Bool
 // to validate the chaos invariant suite. See staleHandoffBug.
 func EnableStaleHandoffBug(on bool) { staleHandoffBug.Store(on) }
 
+// replBatchMax bounds one replication batch (messages per runner round).
+const replBatchMax = 4096
+
 // NewCluster creates a federated cluster of cfg.Shards broker shards,
-// all up.
+// all up, each with its own physical log.
 func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Name == "" {
 		cfg.Name = "cluster"
@@ -150,30 +196,44 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Offsets == nil {
 		cfg.Offsets = NewOffsetStore()
 	}
-	store := NewBroker(BrokerConfig{
-		Name:             cfg.Name + "-store",
-		AppendCost:       cfg.AppendCost,
-		FetchLatency:     cfg.FetchLatency,
-		SegmentSize:      cfg.SegmentSize,
-		MaxInflightBytes: cfg.MaxInflightBytes,
-		OnCommit:         cfg.OnCommit,
-		Clock:            cfg.Clock,
-	})
+	fetchLatency := cfg.FetchLatency
+	if fetchLatency <= 0 {
+		fetchLatency = time.Millisecond
+	}
+	segSize := cfg.SegmentSize
+	if segSize <= 0 {
+		segSize = 4096
+	}
 	runCtx, stop := context.WithCancel(context.Background())
 	c := &Cluster{
-		cfg:     cfg,
-		store:   store,
-		offsets: cfg.Offsets,
-		clock:   cfg.Clock,
-		runCtx:  runCtx,
-		stopFn:  stop,
-		up:      make([]bool, cfg.Shards),
-		severed: make([][]bool, cfg.Shards),
-		topics:  make(map[string]*fedTopic),
+		cfg:          cfg,
+		offsets:      cfg.Offsets,
+		clock:        cfg.Clock,
+		fetchLatency: fetchLatency,
+		segSize:      segSize,
+		runCtx:       runCtx,
+		stopFn:       stop,
+		up:           make([]bool, cfg.Shards),
+		severed:      make([][]bool, cfg.Shards),
+		lagFac:       make([][]float64, cfg.Shards),
+		topics:       make(map[string]*fedTopic),
+	}
+	c.shards = make([]*Broker, cfg.Shards)
+	for i := range c.shards {
+		c.shards[i] = NewBroker(BrokerConfig{
+			Name:             fmt.Sprintf("%s-shard%d", cfg.Name, i),
+			AppendCost:       cfg.AppendCost,
+			FetchLatency:     cfg.FetchLatency,
+			SegmentSize:      cfg.SegmentSize,
+			MaxInflightBytes: cfg.MaxInflightBytes,
+			OnCommit:         cfg.OnCommit,
+			Clock:            cfg.Clock,
+		})
 	}
 	for i := range c.up {
 		c.up[i] = true
 		c.severed[i] = make([]bool, cfg.Shards)
+		c.lagFac[i] = make([]float64, cfg.Shards)
 	}
 	c.offsets.OnSave(c.onSave)
 	return c
@@ -182,10 +242,15 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 // Clock returns the cluster's clock.
 func (c *Cluster) Clock() vclock.Clock { return c.clock }
 
-// Store exposes the authoritative data-plane broker, for fault injectors
-// (partition stalls, commit skew) and accounting reads that address the
-// log directly. Client traffic goes through the Cluster's Bus surface.
-func (c *Cluster) Store() *Broker { return c.store }
+// Shard exposes one shard's physical broker — for tests and accounting
+// reads that address a specific log copy. Client traffic goes through
+// the Cluster's Bus surface.
+func (c *Cluster) Shard(id int) *Broker {
+	if id < 0 || id >= len(c.shards) {
+		return nil
+	}
+	return c.shards[id]
+}
 
 // Offsets returns the cluster's consumer-offset KV; wire it into
 // GroupConfig.Offsets so group commits drive retention.
@@ -221,31 +286,111 @@ func (c *Cluster) Handoffs() int {
 	return c.handoffs
 }
 
-// CreateTopic creates a topic and places every partition's replica set
-// on the live shard ring via plan.ShardReplicas.
-func (c *Cluster) CreateTopic(name string, partitions int) error {
-	if err := c.store.CreateTopic(name, partitions); err != nil {
-		return err
-	}
+// Repairs returns how many diverged-replica repairs (truncate +
+// re-stream) the catch-up runners have performed.
+func (c *Cluster) Repairs() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.repairs
+}
+
+// fireCtrlLocked wakes everything parked on control-plane state. Caller
+// holds c.mu.
+func (c *Cluster) fireCtrlLocked() {
+	ws := c.ctrl
+	c.ctrl = nil
+	for _, w := range ws {
+		w.Fire()
+	}
+}
+
+// fireAckWaitLocked wakes the producers parked on one partition's
+// watermark. Caller holds c.mu.
+func (c *Cluster) fireAckWaitLocked(p *fedPart) {
+	ws := p.ackWait
+	p.ackWait = nil
+	for _, w := range ws {
+		w.Fire()
+	}
+}
+
+// recomputeAckedLocked advances a partition's acknowledged watermark to
+// the minimum log end across full members (recruits excluded), firing
+// OnAcked, parked producers and the leader's fetch waiters on progress.
+// The watermark is monotone: an unclean promotion (no full member
+// survived) can leave it above the new leader's end, and the gap
+// surfaces as data loss through the completeness invariants rather than
+// as a silent rewind. Caller holds c.mu.
+func (c *Cluster) recomputeAckedLocked(t *fedTopic, p *fedPart) {
+	lo := int64(-1)
+	for _, s := range p.replicas {
+		if containsInt(p.syncing, s) {
+			continue
+		}
+		e, err := c.shards[s].EndOffset(t.name, p.idx)
+		if err != nil {
+			continue
+		}
+		if lo < 0 || e < lo {
+			lo = e
+		}
+	}
+	if lo > p.acked {
+		from := p.acked
+		p.acked = lo
+		if c.cfg.OnAcked != nil {
+			c.cfg.OnAcked(t.name, p.idx, from, lo)
+		}
+		c.fireAckWaitLocked(p)
+		// Wake parked fetchers *after* the watermark is in place: a waiter
+		// that re-checks immediately sees the new fetchable range.
+		c.shards[p.replicas[0]].wakeFetchers(t.name, p.idx)
+	}
+}
+
+// CreateTopic creates a topic on every shard, places each partition's
+// replica set on the live shard ring via plan.ShardReplicas, and starts
+// the partition's catch-up runners (one per follower slot).
+func (c *Cluster) CreateTopic(name string, partitions int) error {
+	for _, b := range c.shards {
+		if err := b.CreateTopic(name, partitions); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrBrokerClosed
+	}
 	if _, ok := c.topics[name]; ok {
-		return nil // store validated the partition count
+		c.mu.Unlock()
+		return nil // shards validated the partition count
 	}
 	live := c.liveLocked()
 	if len(live) == 0 {
+		c.mu.Unlock()
 		return fmt.Errorf("streaming: cluster %q has no live shards", c.cfg.Name)
 	}
 	t := &fedTopic{name: name, parts: make([]*fedPart, partitions)}
 	for q := range t.parts {
 		t.parts[q] = &fedPart{
-			idx:      q,
-			replicas: plan.ShardReplicas(name, q, live, c.cfg.Replication),
-			recruit:  -1,
+			idx:          q,
+			replicas:     plan.ShardReplicas(name, q, live, c.cfg.Replication),
+			frozen:       make([]bool, c.cfg.Replication-1),
+			ackedAtEpoch: []int64{0},
 		}
 	}
 	c.topics[name] = t
 	c.order = append(c.order, t)
+	c.mu.Unlock()
+	// One catch-up runner per (partition, follower slot), spawned in
+	// deterministic order so runner identity is stable across runs.
+	for q := 0; q < partitions; q++ {
+		for s := 0; s < c.cfg.Replication-1; s++ {
+			q, s := q, s
+			vclock.Go(c.clock, func() { c.replicate(name, q, s) })
+		}
+	}
 	return nil
 }
 
@@ -293,12 +438,50 @@ func (c *Cluster) Epoch(topic string, partition int) (int, error) {
 	return p.epoch, nil
 }
 
-// UnderReplicated counts partitions below their replication target or
-// still syncing a recruit at the current instant.
+// AckedOffset returns a partition's acknowledged high watermark — the
+// next offset awaiting quorum acknowledgement. Only offsets below it are
+// fetchable or committable.
+func (c *Cluster) AckedOffset(topic string, partition int) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, p, err := c.fedPartition(topic, partition)
+	if err != nil {
+		return 0, err
+	}
+	return p.acked, nil
+}
+
+// replicaLagLocked returns the maximum replication lag (leader log end −
+// follower log end, in messages) across a partition's full members.
+// Caller holds c.mu.
+func (c *Cluster) replicaLagLocked(t *fedTopic, p *fedPart) int64 {
+	lEnd, err := c.shards[p.replicas[0]].EndOffset(t.name, p.idx)
+	if err != nil {
+		return 0
+	}
+	var max int64
+	for _, s := range p.replicas[1:] {
+		if containsInt(p.syncing, s) {
+			continue
+		}
+		fEnd, err := c.shards[s].EndOffset(t.name, p.idx)
+		if err != nil {
+			continue
+		}
+		if lag := lEnd - fEnd; lag > max {
+			max = lag
+		}
+	}
+	return max
+}
+
+// UnderReplicated counts partitions below their replication target,
+// still syncing a recruit, or carrying nonzero replication lag (a full
+// follower whose log end trails the leader's) — so drift detection sees
+// slow followers, not just missing ones.
 func (c *Cluster) UnderReplicated() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.clock.Now()
 	want := c.cfg.Replication
 	if live := len(c.liveLocked()); want > live {
 		want = live
@@ -306,7 +489,7 @@ func (c *Cluster) UnderReplicated() int {
 	n := 0
 	for _, t := range c.order {
 		for _, p := range t.parts {
-			if len(p.replicas) < want || (p.recruit >= 0 && p.syncedAt.After(now)) {
+			if len(p.replicas) < want || len(p.syncing) > 0 || c.replicaLagLocked(t, p) > 0 {
 				n++
 			}
 		}
@@ -325,6 +508,11 @@ type ShardPlacement struct {
 	// Syncing is true while a recruited follower is still replaying the
 	// log (re-replication in progress).
 	Syncing bool
+	// Lag is the partition's maximum replication lag in messages (leader
+	// log end − follower log end, over full members).
+	Lag int64
+	// AckedHW is the acknowledged high watermark at snapshot time.
+	AckedHW int64
 }
 
 // Placement snapshots every partition's placement in topic-creation and
@@ -332,7 +520,6 @@ type ShardPlacement struct {
 func (c *Cluster) Placement() []ShardPlacement {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.clock.Now()
 	var out []ShardPlacement
 	for _, t := range c.order {
 		for _, p := range t.parts {
@@ -340,21 +527,90 @@ func (c *Cluster) Placement() []ShardPlacement {
 				Topic: t.name, Partition: p.idx, Epoch: p.epoch,
 				Leader:   p.replicas[0],
 				Replicas: append([]int(nil), p.replicas...),
-				Syncing:  p.recruit >= 0 && p.syncedAt.After(now),
+				Syncing:  len(p.syncing) > 0,
+				Lag:      c.replicaLagLocked(t, p),
+				AckedHW:  p.acked,
 			})
 		}
 	}
 	return out
 }
 
+// SyncingShards returns the ids of shards currently catching up as
+// recruits on any partition, ascending — the crash-mid-catchup chaos
+// fault targets these.
+func (c *Cluster) SyncingShards() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make([]bool, len(c.up))
+	for _, t := range c.order {
+		for _, p := range t.parts {
+			for _, s := range p.syncing {
+				seen[s] = true
+			}
+		}
+	}
+	var out []int
+	for i, ok := range seen {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CheckReplicaConsistency classifies every replica of a topic against
+// its leader's epoch-span chain and reports the diverged ones — replicas
+// holding offsets whose epoch disagrees with the leader's, or offsets
+// past the leader's end. After quiescence (no faults in flight, lag
+// drained) every report is an invariant violation: repair should have
+// truncated and re-streamed them.
+func (c *Cluster) CheckReplicaConsistency(topic string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.topics[topic]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, p := range t.parts {
+		leader := p.replicas[0]
+		lSpans := c.shards[leader].epochSpans(t.name, p.idx)
+		lEnd, err := c.shards[leader].EndOffset(t.name, p.idx)
+		if err != nil {
+			continue
+		}
+		lFirst, _ := c.shards[leader].OldestOffset(t.name, p.idx)
+		for _, f := range p.replicas[1:] {
+			fEnd, err := c.shards[f].EndOffset(t.name, p.idx)
+			if err != nil {
+				continue
+			}
+			fFirst, _ := c.shards[f].OldestOffset(t.name, p.idx)
+			from := lFirst
+			if fFirst > from {
+				from = fFirst
+			}
+			r := plan.ClassifyReplica(lSpans, c.shards[f].epochSpans(t.name, p.idx), from, lEnd, fEnd)
+			if r.State == plan.ReplicaDiverged {
+				out = append(out, fmt.Sprintf("%s[%d] shard %d diverged from leader %d at offset %d (leader end %d, replica end %d)",
+					t.name, p.idx, f, leader, r.DivergedAt, lEnd, fEnd))
+			}
+		}
+	}
+	return out
+}
+
 // FailShard permanently fails one shard: every partition it led fences
-// (down for fetches, publish-fenced) for the modeled election delay —
-// longer if the only surviving replica is a recruit still catching up —
-// then hands leadership to the surviving replica and reopens; every
-// partition it followed recruits a replacement follower that re-replicates
-// the partition's resident bytes in virtual time. Failing the last live
-// shard is refused (plan.ShardDriftNoLeader: this model has no cold
-// storage to recover a leaderless partition from).
+// (fetches and publishes park) for the modeled election delay, then
+// promotion runs the recovery protocol — the first fully-replicated
+// survivor becomes leader under a bumped epoch, its log is truncated to
+// the acknowledged watermark (the un-acked suffix may be stale), and the
+// coordinator's commit mark is restored onto it; every partition the
+// dead shard followed recruits a replacement that re-replicates the log
+// over its catch-up link in virtual time. Failing the last live shard is
+// refused (this model has no cold storage to recover a leaderless
+// partition from).
 func (c *Cluster) FailShard(id int) error {
 	c.mu.Lock()
 	if id < 0 || id >= len(c.up) {
@@ -388,60 +644,83 @@ func (c *Cluster) FailShard(id int) error {
 			}
 			wasLeader := p.replicas[0] == id
 			p.replicas = removeShard(p.replicas, id)
-			if p.recruit == id {
-				p.recruit = -1 // the syncing recruit died with the shard
-			}
+			p.syncing = removeShard(p.syncing, id)
 			if wasLeader {
 				c.handoffs++
 				p.epoch++
-				avail := now.Add(c.cfg.HandoffDelay)
-				if p.recruit >= 0 && p.replicas[0] == p.recruit {
-					// The heir is a recruit mid-catchup: it cannot serve
-					// before it finishes replaying the log.
-					if p.syncedAt.After(avail) {
-						avail = p.syncedAt
+				p.ackedAtEpoch = append(p.ackedAtEpoch, p.acked)
+				// Promote the first fully-replicated survivor; only when no
+				// full member is left does a mid-catchup recruit take over —
+				// an *unclean* promotion whose missing suffix is genuine data
+				// loss, surfaced by the completeness invariants.
+				nl := -1
+				for _, s := range p.replicas {
+					if !containsInt(p.syncing, s) {
+						nl = s
+						break
 					}
-					p.recruit = -1
 				}
+				if nl < 0 {
+					nl = p.replicas[0]
+					p.syncing = removeShard(p.syncing, nl)
+					vclock.Mark(c.clock, fmt.Sprintf("unclean promotion %s[%d] shard %d epoch %d",
+						t.name, p.idx, nl, p.epoch), uint64(p.epoch))
+				}
+				p.replicas = removeShard(p.replicas, nl)
+				p.replicas = append([]int{nl}, p.replicas...)
+				nb := c.shards[nl]
+				// Recovery: the promoted log's un-acked suffix was never on
+				// quorum — truncate to the watermark; re-streaming under the
+				// new epoch replaces it with the authoritative history.
+				nb.truncateTo(t.name, p.idx, p.acked)
+				nb.setEpoch(t.name, p.idx, p.epoch)
+				if staleHandoffBug.Load() {
+					// Planted defect: restore the coordinator commit mark from
+					// the promoted follower's lazily-replicated local mark —
+					// stale by up to one replication round, so the next applied
+					// commit rewinds the cursor.
+					if lc, err := nb.Committed(t.name, p.idx); err == nil {
+						p.commit = lc
+					}
+				} else {
+					nb.setCommitted(t.name, p.idx, p.commit)
+				}
+				avail := now.Add(c.cfg.HandoffDelay)
 				p.availableAt = avail
 				// The handoff decision lands in the schedule recorder: a
 				// bisected failing seed names this exact instant.
 				vclock.Mark(c.clock, fmt.Sprintf("federation handoff %s[%d] shard %d -> %d epoch %d",
-					t.name, p.idx, id, p.replicas[0], p.epoch), uint64(p.epoch))
-				if staleHandoffBug.Load() {
-					// Planted defect: the promoted leader restores the commit
-					// mark from the stale persisted checkpoint instead of the
-					// live mark — the cursor-rewind class the chaos invariant
-					// suite must catch.
-					c.store.rewindCommit(t.name, p.idx, p.staleLW)
-				}
+					t.name, p.idx, id, nl, p.epoch), uint64(p.epoch))
 				fenced = append(fenced, pending{t: t, p: p, epoch: p.epoch, at: avail})
 			}
 			// Re-replication: reconverge the replica set through the
-			// planner's drift classifier.
+			// planner's drift classifier. Recruits join as syncing members;
+			// their catch-up runner bootstraps and streams the real log.
 			for _, d := range plan.DetectShardDrift(p.replicas, live, c.cfg.Replication) {
 				if d.Kind != plan.ShardDriftUnderReplicated {
 					continue
 				}
 				p.replicas = append(p.replicas, d.Shard)
-				p.recruit = d.Shard
-				resident, _ := c.store.ResidentBytes(t.name, p.idx)
-				syncStart := now
-				if p.availableAt.After(syncStart) {
-					syncStart = p.availableAt
-				}
-				catchup := time.Duration(float64(resident) / float64(c.cfg.CatchupBytesPerSec) * float64(time.Second))
-				p.syncedAt = syncStart.Add(catchup)
+				p.syncing = append(p.syncing, d.Shard)
 			}
+			// The dead member may have been the watermark's minimum (e.g. a
+			// follower starved behind a severed link): with it gone, quorum
+			// may already cover more of the leader's log — recompute, or
+			// producers waiting on its lag would park forever.
+			c.recomputeAckedLocked(t, p)
+			// Membership and leadership moved: wake parked producers (their
+			// batch may need re-appending) and control waiters (runners must
+			// re-resolve their follower slots).
+			c.fireAckWaitLocked(p)
 		}
 	}
-	// Apply the fences and recompute link fences for every partition (a
-	// link to the dead shard no longer matters) in deterministic order.
-	for _, f := range fenced {
-		c.store.SetPartitionDown(f.t.name, f.p.idx, true)
-	}
-	c.applyPubFencesLocked()
+	c.fireCtrlLocked()
 	c.mu.Unlock()
+
+	// Close the dead shard's broker: anything parked inside it (leader
+	// appends under backpressure, stray accounting reads) unblocks with
+	// ErrBrokerClosed and re-routes through the new placement.
+	c.shards[id].Close()
 
 	if len(fenced) > 0 {
 		// One clock participant per failure walks the handoff completions
@@ -458,8 +737,7 @@ func (c *Cluster) FailShard(id int) error {
 				c.mu.Lock()
 				if f.p.epoch == f.epoch {
 					f.p.availableAt = time.Time{}
-					c.store.SetPartitionDown(f.t.name, f.p.idx, false)
-					c.applyPubFencesLocked()
+					c.fireCtrlLocked()
 				}
 				c.mu.Unlock()
 			}
@@ -468,14 +746,15 @@ func (c *Cluster) FailShard(id int) error {
 	return nil
 }
 
-// SeverLink cuts the replication link between shards a and b: partitions
-// whose leader needs the link to reach an in-sync follower cannot
-// acknowledge publishes and fence until HealLink. Fetches of already
+// SeverLink cuts the replication link between shards a and b: catch-up
+// streams over the link freeze, so partitions whose leader needs it to
+// reach a full follower stop advancing their watermark and publishes
+// park in the acknowledgement wait until HealLink. Fetches of already
 // acknowledged data are unaffected.
 func (c *Cluster) SeverLink(a, b int) error { return c.setLink(a, b, true) }
 
-// HealLink restores the replication link between shards a and b,
-// unfencing the partitions only it was fencing.
+// HealLink restores the replication link between shards a and b; frozen
+// catch-up streams resume and the backlog drains at the link's pace.
 func (c *Cluster) HealLink(a, b int) error { return c.setLink(a, b, false) }
 
 func (c *Cluster) setLink(a, b int, sever bool) error {
@@ -486,60 +765,316 @@ func (c *Cluster) setLink(a, b int, sever bool) error {
 	}
 	c.severed[a][b] = sever
 	c.severed[b][a] = sever
-	c.applyPubFencesLocked()
+	c.fireCtrlLocked()
 	return nil
 }
 
-// applyPubFencesLocked recomputes every partition's publish fence from
-// the current control state: fenced while mid-handoff, or while the
-// leader's link to any in-sync follower is severed (synchronous
-// replication cannot acknowledge). Swept in topic-creation and partition
-// order so fence toggles land deterministically. Caller holds c.mu.
-func (c *Cluster) applyPubFencesLocked() {
-	for _, t := range c.order {
-		for _, p := range t.parts {
-			fence := !p.availableAt.IsZero()
-			if !fence {
-				leader := p.replicas[0]
-				for _, f := range p.replicas[1:] {
-					if f != p.recruit && c.severed[leader][f] {
-						fence = true
-						break
-					}
-				}
-			}
-			c.store.SetPublishFence(t.name, p.idx, fence)
-		}
+// SetLinkLag multiplies the catch-up pacing of the replication link
+// between shards a and b: factor 2 halves the link's modeled bandwidth,
+// 1 (or 0) restores nominal pace. The chaos replica-lag fault drives
+// this to stretch follower lag windows.
+func (c *Cluster) SetLinkLag(a, b int, factor float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a < 0 || a >= len(c.up) || b < 0 || b >= len(c.up) || a == b {
+		return fmt.Errorf("streaming: cluster %q has no shard link %d<->%d", c.cfg.Name, a, b)
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	c.lagFac[a][b] = factor
+	c.lagFac[b][a] = factor
+	c.fireCtrlLocked()
+	return nil
+}
+
+// FreezeReplica freezes (frozen=true) or resumes replication into one
+// follower slot of a partition — the torn-replication chaos fault: the
+// follower stops mid-stream with a clean batch boundary (batches are
+// discarded, never half-applied) and falls behind until resumed.
+func (c *Cluster) FreezeReplica(topic string, partition, slot int, frozen bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, p, err := c.fedPartition(topic, partition)
+	if err != nil {
+		return err
+	}
+	if slot < 0 || slot >= len(p.frozen) {
+		return fmt.Errorf("streaming: %s[%d] has no replica slot %d", topic, partition, slot)
+	}
+	p.frozen[slot] = frozen
+	c.fireCtrlLocked()
+	return nil
+}
+
+// SetPartitionDown opens (down=true) or closes an injected fetch
+// blackout on one partition: consumers park as if nothing were
+// acknowledged past their offsets; producers are unaffected. The chaos
+// engine is the intended caller.
+func (c *Cluster) SetPartitionDown(topic string, partition int, down bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, p, err := c.fedPartition(topic, partition)
+	if err != nil {
+		return err
+	}
+	p.stalled = down
+	c.fireCtrlLocked()
+	return nil
+}
+
+// SetCommitDelay injects commit skew on every shard (see
+// Broker.SetCommitDelay).
+func (c *Cluster) SetCommitDelay(d time.Duration) {
+	for _, b := range c.shards {
+		b.SetCommitDelay(d)
 	}
 }
 
-// onSave runs at every consumer-offset persist: trim the partition's log
+// linkLagLocked returns the pacing multiplier of link a<->b (≥1).
+// Caller holds c.mu.
+func (c *Cluster) linkLagLocked(a, b int) float64 {
+	f := c.lagFac[a][b]
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// replicate is one partition's catch-up runner for one follower slot:
+// it resolves the slot's current follower, detects and repairs diverged
+// suffixes (epoch chain compare, truncate-to-watermark, re-stream),
+// bootstraps recruits from behind the retention floor, and streams the
+// leader's log batch by batch, paced in virtual time by the link's
+// bandwidth. After each pacing sleep the control state is re-validated
+// and stale batches are discarded — a torn stream never half-applies.
+func (c *Cluster) replicate(topicName string, q, slot int) {
+	// Scratch buffers for the per-round epoch-chain snapshots: chains are
+	// a handful of spans, so after the first rounds these never allocate.
+	var lSpans, fSpans []plan.EpochSpan
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		t, p, err := c.fedPartition(topicName, q)
+		if err != nil {
+			c.mu.Unlock()
+			return
+		}
+		leader := p.replicas[0]
+		follower := -1
+		if 1+slot < len(p.replicas) {
+			follower = p.replicas[1+slot]
+		}
+		epoch := p.epoch
+		frozen := follower >= 0 && (c.severed[leader][follower] || p.frozen[slot])
+		var lag float64
+		if follower >= 0 {
+			lag = c.linkLagLocked(leader, follower)
+		}
+		c.mu.Unlock()
+
+		if follower < 0 || frozen {
+			if !c.parkCtrl() {
+				return
+			}
+			continue
+		}
+		lb, fb := c.shards[leader], c.shards[follower]
+		fEnd, ferr := fb.EndOffset(topicName, q)
+		lEnd, lerr := lb.EndOffset(topicName, q)
+		if ferr != nil || lerr != nil {
+			// A shard died between snapshot and use; membership is changing.
+			if !c.parkCtrl() {
+				return
+			}
+			continue
+		}
+		lFirst, _ := lb.OldestOffset(topicName, q)
+		fFirst, _ := fb.OldestOffset(topicName, q)
+
+		// Divergence repair: compare epoch chains over the shared range.
+		// The planted defect skips this, streaming blindly past a stale
+		// suffix — the diverged-replica-after-repair invariant catches it.
+		from := lFirst
+		if fFirst > from {
+			from = fFirst
+		}
+		lSpans = lb.epochSpansInto(topicName, q, lSpans)
+		fSpans = fb.epochSpansInto(topicName, q, fSpans)
+		if at, ok := plan.DivergencePoint(lSpans, fSpans, from, lEnd, fEnd); ok && !staleHandoffBug.Load() {
+			fb.truncateTo(topicName, q, at)
+			vclock.Mark(c.clock, fmt.Sprintf("replica repair %s[%d] shard %d truncated to %d (%d dropped)",
+				topicName, q, follower, at, fEnd-at), uint64(at))
+			c.mu.Lock()
+			c.repairs++
+			c.mu.Unlock()
+			continue
+		}
+
+		if fEnd < lFirst {
+			// Recruit starting behind the leader's retention floor: no
+			// history to stream — bootstrap an empty log at the floor.
+			fb.resetTo(topicName, q, lFirst)
+			continue
+		}
+
+		msgs, _, lEnd2, lCommitted := lb.replBatch(topicName, q, fEnd, replBatchMax)
+		if len(msgs) == 0 {
+			if lEnd2 > fEnd {
+				continue // raced a trim; re-resolve coordinates
+			}
+			// Caught up. Promote a recruit to full member, then park until
+			// the leader appends or the control plane changes.
+			c.mu.Lock()
+			if !c.closed {
+				if _, p2, err := c.fedPartition(topicName, q); err == nil &&
+					p2.epoch == epoch && containsInt(p2.syncing, follower) &&
+					1+slot < len(p2.replicas) && p2.replicas[1+slot] == follower {
+					p2.syncing = removeShard(p2.syncing, follower)
+					vclock.Mark(c.clock, fmt.Sprintf("replica synced %s[%d] shard %d at %d",
+						topicName, q, follower, fEnd), uint64(fEnd))
+					c.recomputeAckedLocked(t, p2)
+					c.fireCtrlLocked()
+					c.mu.Unlock()
+					continue
+				}
+			}
+			c.mu.Unlock()
+			if !c.parkData(lb, topicName, q, fEnd) {
+				return
+			}
+			continue
+		}
+
+		// Pace the batch over the link in virtual time.
+		var bytes int64
+		for i := range msgs {
+			bytes += int64(len(msgs[i].Key) + len(msgs[i].Value))
+		}
+		d := time.Duration(float64(bytes) / float64(c.cfg.CatchupBytesPerSec) * float64(time.Second) * lag)
+		if d > 0 && !c.clock.Sleep(c.runCtx, d) {
+			return
+		}
+
+		// Re-validate after the sleep: if leadership, membership, the
+		// epoch or the link moved while the batch was in flight, the
+		// stream is torn — discard the batch and re-resolve.
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		_, p2, err := c.fedPartition(topicName, q)
+		intact := err == nil && p2.epoch == epoch && p2.replicas[0] == leader &&
+			1+slot < len(p2.replicas) && p2.replicas[1+slot] == follower &&
+			!c.severed[leader][follower] && !p2.frozen[slot]
+		c.mu.Unlock()
+		if !intact {
+			continue
+		}
+		// Fresh chain snapshot: the pre-pacing one may predate appends.
+		lSpans = lb.epochSpansInto(topicName, q, lSpans)
+		if err := fb.appendReplicated(topicName, q, msgs, lSpans, lCommitted); err != nil {
+			continue // follower log moved (repair/reset raced); re-resolve
+		}
+		c.mu.Lock()
+		if !c.closed {
+			if _, p2, err := c.fedPartition(topicName, q); err == nil {
+				c.recomputeAckedLocked(t, p2)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// parkCtrl parks the calling runner until the control plane changes or
+// the cluster closes. Returns false when the runner should exit.
+func (c *Cluster) parkCtrl() bool {
+	w := vclock.NewEvent(c.clock)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		w.Fire()
+		return false
+	}
+	registerEvent(&c.ctrl, w)
+	c.mu.Unlock()
+	if !w.Wait(c.runCtx) {
+		w.Fire()
+		return false
+	}
+	return !c.isClosed()
+}
+
+// parkData parks the calling runner until the leader's log grows past
+// end, the control plane changes, or the cluster closes. Returns false
+// when the runner should exit.
+func (c *Cluster) parkData(lb *Broker, topicName string, q int, end int64) bool {
+	w := vclock.NewEvent(c.clock)
+	lb.registerFetchWaiter(topicName, q, w)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		w.Fire()
+		return false
+	}
+	registerEvent(&c.ctrl, w)
+	c.mu.Unlock()
+	// Registered on both lists: re-check the condition to close the
+	// register-vs-append race on real clocks.
+	if e, err := lb.EndOffset(topicName, q); err != nil || e > end {
+		w.Fire()
+		return true
+	}
+	if !w.Wait(c.runCtx) {
+		w.Fire()
+		return false
+	}
+	return !c.isClosed()
+}
+
+func (c *Cluster) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// onSave runs at every consumer-offset persist: trim every replica's log
 // below the low-watermark of all persisted group cursors (whole sealed
-// segments only — the floor stays segment-aligned), then report the
-// retention state. This is the bounded-memory contract: trimming happens
-// at exactly the instants the durable state advances, and never above
-// what every registered group has durably consumed.
+// segments only — each floor stays segment-aligned; follower trims
+// self-clamp to their lazily-replicated commit marks), then report the
+// leader's retention state. This is the bounded-memory contract:
+// trimming happens at exactly the instants the durable state advances,
+// and never above what every registered group has durably consumed.
 func (c *Cluster) onSave(_ string, topic string, partition int) {
 	lw, ok := c.offsets.LowWatermark(topic, partition)
 	if !ok {
 		return
 	}
 	c.mu.Lock()
-	if _, p, err := c.fedPartition(topic, partition); err == nil {
-		p.staleLW = p.lastLW
-		p.lastLW = lw
+	_, p, err := c.fedPartition(topic, partition)
+	if err != nil {
+		c.mu.Unlock()
+		return
 	}
+	members := append([]int(nil), p.replicas...)
 	c.mu.Unlock()
+	leader := members[0]
 	oldest := int64(0)
 	if !c.cfg.DisableRetention {
-		if o, err := c.store.Trim(topic, partition, lw); err == nil {
-			oldest = o
+		for _, s := range members {
+			if o, err := c.shards[s].Trim(topic, partition, lw); err == nil && s == leader {
+				oldest = o
+			}
 		}
-	} else if o, err := c.store.OldestOffset(topic, partition); err == nil {
+	} else if o, err := c.shards[leader].OldestOffset(topic, partition); err == nil {
 		oldest = o
 	}
 	if c.cfg.OnRetention != nil {
-		resident, err := c.store.ResidentBytes(topic, partition)
+		resident, err := c.shards[leader].ResidentBytes(topic, partition)
 		if err != nil {
 			return
 		}
@@ -548,15 +1083,22 @@ func (c *Cluster) onSave(_ string, topic string, partition int) {
 }
 
 // ResidentBytes sums the resident payload bytes across a topic's
-// partitions — the quantity retention bounds.
+// partitions on their current leaders — the quantity retention bounds.
 func (c *Cluster) ResidentBytes(topic string) (int64, error) {
-	n, err := c.store.Partitions(topic)
-	if err != nil {
-		return 0, err
+	c.mu.Lock()
+	t, ok := c.topics[topic]
+	if !ok {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownTopic, topic)
 	}
+	leaders := make([]int, len(t.parts))
+	for q, p := range t.parts {
+		leaders[q] = p.replicas[0]
+	}
+	c.mu.Unlock()
 	var total int64
-	for q := 0; q < n; q++ {
-		r, err := c.store.ResidentBytes(topic, q)
+	for q, l := range leaders {
+		r, err := c.shards[l].ResidentBytes(topic, q)
 		if err != nil {
 			return 0, err
 		}
@@ -565,55 +1107,52 @@ func (c *Cluster) ResidentBytes(topic string) (int64, error) {
 	return total, nil
 }
 
-// --- Bus delegation: the data plane is the shared store. ---
-
-// Partitions returns a topic's partition count.
-func (c *Cluster) Partitions(name string) (int, error) { return c.store.Partitions(name) }
-
-// Publish appends one message through the federated log.
-func (c *Cluster) Publish(ctx context.Context, topic string, key, value []byte) (Message, error) {
-	return c.store.Publish(ctx, topic, key, value)
+// OldestOffset returns a partition's retention floor on its current
+// leader: the oldest offset a fetch can still serve.
+func (c *Cluster) OldestOffset(topic string, partition int) (int64, error) {
+	c.mu.Lock()
+	_, p, err := c.fedPartition(topic, partition)
+	if err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	leader := p.replicas[0]
+	c.mu.Unlock()
+	return c.shards[leader].OldestOffset(topic, partition)
 }
 
-// PublishBatch appends a batch of (key, value) pairs.
-func (c *Cluster) PublishBatch(ctx context.Context, topic string, kvs [][2][]byte) ([]Message, error) {
-	return c.store.PublishBatch(ctx, topic, kvs)
-}
-
-// PublishValues appends a key-less batch (the bulk-ingest fast path).
-func (c *Cluster) PublishValues(ctx context.Context, topic string, values [][]byte) error {
-	return c.store.PublishValues(ctx, topic, values)
-}
-
-// Fetch long-polls one partition.
-func (c *Cluster) Fetch(ctx context.Context, topic string, partition int, offset int64, max int) ([]Message, error) {
-	return c.store.Fetch(ctx, topic, partition, offset, max)
-}
-
-// FetchOrWait is the consumer hot path (see Broker.FetchOrWait).
-func (c *Cluster) FetchOrWait(ctx context.Context, topic string, parts []int, offsets []int64, start, max int) (int, []Message, error) {
-	return c.store.FetchOrWait(ctx, topic, parts, offsets, start, max)
-}
-
-// Commit acknowledges consumption through an offset.
-func (c *Cluster) Commit(topic string, partition int, through int64) error {
-	return c.store.Commit(topic, partition, through)
-}
-
-// Committed returns a partition's commit mark.
-func (c *Cluster) Committed(topic string, partition int) (int64, error) {
-	return c.store.Committed(topic, partition)
-}
-
-// EndOffset returns the next offset to be written on a partition.
-func (c *Cluster) EndOffset(topic string, partition int) (int64, error) {
-	return c.store.EndOffset(topic, partition)
-}
-
-// Close stops the control plane and closes the underlying store.
+// Close stops the replication plane and control walkers, wakes
+// everything parked on cluster state (producers in acknowledgement
+// waits, fetchers behind fences, catch-up runners), and closes every
+// shard broker — so a Close mid-handoff unwinds cleanly with no leaked
+// waiters or goroutines.
 func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	ctrl := c.ctrl
+	c.ctrl = nil
+	var acks []*vclock.Event
+	for _, t := range c.order {
+		for _, p := range t.parts {
+			acks = append(acks, p.ackWait...)
+			p.ackWait = nil
+		}
+	}
+	c.mu.Unlock()
 	c.stopFn()
-	c.store.Close()
+	for _, w := range ctrl {
+		w.Fire()
+	}
+	for _, w := range acks {
+		w.Fire()
+	}
+	for _, b := range c.shards {
+		b.Close()
+	}
 }
 
 func containsInt(xs []int, x int) bool {

@@ -261,7 +261,7 @@ func TestFetchTrimmedOffsetTypedError(t *testing.T) {
 	// Persisting the cursor drives retention: segments wholly below offset
 	// 9 trim (two full segments of 4), leaving the floor at 8.
 	c.Offsets().Save("g", "t", 0, 9)
-	if oldest, err := c.Store().OldestOffset("t", 0); err != nil || oldest != 8 {
+	if oldest, err := c.OldestOffset("t", 0); err != nil || oldest != 8 {
 		t.Fatalf("oldest = %d, %v; want 8", oldest, err)
 	}
 
@@ -419,7 +419,7 @@ func TestRetentionBoundProperty(t *testing.T) {
 			if resident > segSize*payloadLen {
 				t.Fatalf("drained cluster retains %d bytes, want <= one segment (%d)", resident, segSize*payloadLen)
 			}
-			if oldest, _ := cl.Store().OldestOffset("t", 0); oldest < total-segSize {
+			if oldest, _ := cl.OldestOffset("t", 0); oldest < total-segSize {
 				t.Fatalf("final floor %d never approached the head (%d published)", oldest, total)
 			}
 		})

@@ -45,6 +45,82 @@ func TestOffsetStoreMonotonicSaveAndLowWatermark(t *testing.T) {
 	}
 }
 
+// TestOffsetStoreOnSaveSubscriptionOrdering pins the subscription
+// contract: every applied save notifies all subscribers, in registration
+// order, with the saved key's coordinates; subscribers registered after
+// a save see only later saves; suppressed saves (stale or
+// already-current) notify nobody.
+func TestOffsetStoreOnSaveSubscriptionOrdering(t *testing.T) {
+	s := NewOffsetStore()
+	var order []string
+	sub := func(name string) func(group, topic string, partition int) {
+		return func(group, topic string, partition int) {
+			order = append(order, fmt.Sprintf("%s:%s/%s/%d", name, group, topic, partition))
+		}
+	}
+	s.OnSave(sub("a"))
+	s.OnSave(sub("b"))
+	s.Save("g", "t", 0, 1) // applied: both notified, a before b
+	s.OnSave(sub("c"))
+	s.Save("g", "t", 0, 1) // already current: suppressed
+	s.Save("g", "t", 0, 0) // stale: suppressed
+	s.Save("g", "t", 1, 4) // applied: all three notified, registration order
+	want := []string{"a:g/t/0", "b:g/t/0", "a:g/t/1", "b:g/t/1", "c:g/t/1"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("notification order = %v, want %v", order, want)
+	}
+}
+
+// TestOffsetStoreConcurrentSavesStayMonotonic hammers one key from many
+// goroutines (run under -race in CI): whatever the interleaving, the
+// stored cursor must equal the maximum saved value — never a stale
+// overwrite — and every notification must carry a value the store
+// actually holds at or above the previous notification's.
+func TestOffsetStoreConcurrentSavesStayMonotonic(t *testing.T) {
+	const (
+		savers  = 8
+		perSave = 200
+	)
+	s := NewOffsetStore()
+	var mu sync.Mutex
+	var lastSeen int64 = -1
+	rewinds := 0
+	s.OnSave(func(group, topic string, partition int) {
+		// Load inside the callback observes the store after the applied
+		// save; values must never run backwards from a subscriber's view.
+		v, ok := s.Load(group, topic, partition)
+		mu.Lock()
+		if !ok || v < lastSeen {
+			rewinds++
+		} else {
+			lastSeen = v
+		}
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < savers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= perSave; i++ {
+				s.Save("g", "t", 0, int64(i*savers+g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Max saved value: i=perSave maximized over g.
+	want := int64(perSave*savers + savers - 1)
+	if got, ok := s.Load("g", "t", 0); !ok || got != want {
+		t.Fatalf("final cursor = %d,%v; want %d (monotonic max)", got, ok, want)
+	}
+	if rewinds != 0 {
+		t.Fatalf("%d subscriber observations ran backwards", rewinds)
+	}
+	if lw, ok := s.LowWatermark("t", 0); !ok || lw != want {
+		t.Fatalf("low-watermark = %d,%v; want %d", lw, ok, want)
+	}
+}
+
 func TestOffsetStoreSnapshotRestoreRoundTrip(t *testing.T) {
 	s := NewOffsetStore()
 	s.Save("g1", "t", 0, 7)
